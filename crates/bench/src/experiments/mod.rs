@@ -1,0 +1,238 @@
+//! The experiment registry: one entry per reproduced claim.
+//!
+//! The paper has no numbered tables or figures (it is a HotOS position
+//! paper), so each experiment regenerates one *quantified claim* from the
+//! text — see `DESIGN.md` for the full index.
+
+pub mod ablations;
+pub mod cluster_exp;
+pub mod cpu;
+pub mod future_work;
+pub mod disks;
+pub mod model_exp;
+pub mod network;
+pub mod raid;
+
+use crate::report::Report;
+
+/// A registered experiment.
+#[derive(Clone)]
+pub struct Experiment {
+    /// Stable identifier (`e01` ... `e26`).
+    pub id: &'static str,
+    /// Short title.
+    pub title: &'static str,
+    /// The paper section the claim comes from.
+    pub source: &'static str,
+    /// Runs the experiment.
+    pub run: fn() -> Report,
+}
+
+/// Every experiment, in index order.
+pub fn all() -> Vec<Experiment> {
+    vec![
+        Experiment {
+            id: "e01",
+            title: "Scenario 1: equal static striping delivers N*b",
+            source: "Section 3.2",
+            run: raid::e01_raid_failstop,
+        },
+        Experiment {
+            id: "e02",
+            title: "Scenario 2: proportional striping delivers (N-1)*B+b; drift re-collapses",
+            source: "Section 3.2",
+            run: raid::e02_raid_static,
+        },
+        Experiment {
+            id: "e03",
+            title: "Scenario 3: adaptive striping delivers the available bandwidth",
+            source: "Section 3.2",
+            run: raid::e03_raid_adaptive,
+        },
+        Experiment {
+            id: "e04",
+            title: "Bad-block remapping: the 5.0-vs-5.5 MB/s Hawk",
+            source: "Section 2.1.2",
+            run: disks::e04_badblock,
+        },
+        Experiment {
+            id: "e05",
+            title: "SCSI error census: 49% / 87% and two per day",
+            source: "Section 2.1.2",
+            run: disks::e05_scsi_errors,
+        },
+        Experiment {
+            id: "e06",
+            title: "Thermal recalibration: random short off-line periods",
+            source: "Section 2.1.2",
+            run: disks::e06_thermal_recal,
+        },
+        Experiment {
+            id: "e07",
+            title: "Multi-zone disks: outer/inner bandwidth ~2x",
+            source: "Section 2.1.2",
+            run: disks::e07_zones,
+        },
+        Experiment {
+            id: "e08",
+            title: "Vesta variance: near-peak cluster with a 15-20% tail",
+            source: "Section 2.1.2",
+            run: disks::e08_vesta_variance,
+        },
+        Experiment {
+            id: "e09",
+            title: "Myrinet deadlock: watchdog cliff and 2 s recovery halts",
+            source: "Section 2.1.3",
+            run: network::e09_deadlock,
+        },
+        Experiment {
+            id: "e10",
+            title: "Switch unfairness appears only under load",
+            source: "Section 2.1.3",
+            run: network::e10_unfairness,
+        },
+        Experiment {
+            id: "e11",
+            title: "CM-5 transpose: one slow receiver costs ~3x globally",
+            source: "Section 2.1.3",
+            run: network::e11_transpose,
+        },
+        Experiment {
+            id: "e12",
+            title: "Page mapping: careless placement costs up to 50%",
+            source: "Section 2.2.1",
+            run: cpu::e12_page_mapping,
+        },
+        Experiment {
+            id: "e13",
+            title: "File-system aging: fresh vs aged sequential reads ~2x",
+            source: "Section 2.2.1",
+            run: disks::e13_fs_aging,
+        },
+        Experiment {
+            id: "e14",
+            title: "Untimely GC: one node falls behind its mirror",
+            source: "Section 2.2.1",
+            run: cluster_exp::e14_gc_mirror,
+        },
+        Experiment {
+            id: "e15",
+            title: "Memory hog: interactive response up to 40x worse",
+            source: "Section 2.2.2",
+            run: cpu::e15_memory_hog,
+        },
+        Experiment {
+            id: "e16",
+            title: "CPU hog: one loaded node halves global sort performance",
+            source: "Section 2.2.2",
+            run: cluster_exp::e16_cpu_hog,
+        },
+        Experiment {
+            id: "e17",
+            title: "Cache fault masking: 'identical' CPUs up to 40% apart",
+            source: "Section 2.1.1",
+            run: cpu::e17_cache_mask,
+        },
+        Experiment {
+            id: "e18",
+            title: "Nondeterministic TLB replacement diverges on identical input",
+            source: "Section 2.1.1",
+            run: cpu::e18_tlb_nondet,
+        },
+        Experiment {
+            id: "e19",
+            title: "Fetch-predictor aliasing: identical code up to 3x apart",
+            source: "Section 2.1.1",
+            run: cpu::e19_nonmonotonic,
+        },
+        Experiment {
+            id: "e20",
+            title: "The threshold T: false failures vs detection latency",
+            source: "Section 3.1",
+            run: model_exp::e20_threshold,
+        },
+        Experiment {
+            id: "e21",
+            title: "Spec fidelity: simpler specs flag more faults",
+            source: "Section 3.1",
+            run: model_exp::e21_spec_fidelity,
+        },
+        Experiment {
+            id: "e22",
+            title: "Availability (Gray & Reuter) under stutter: adaptive >> static",
+            source: "Section 3.3",
+            run: raid::e22_availability,
+        },
+        Experiment {
+            id: "e23",
+            title: "Incremental growth: adaptive arrays exploit faster additions",
+            source: "Section 3.3",
+            run: raid::e23_incremental_growth,
+        },
+        Experiment {
+            id: "e24",
+            title: "Erratic performance predicts impending failure",
+            source: "Section 3.3",
+            run: model_exp::e24_failure_prediction,
+        },
+        Experiment {
+            id: "e25",
+            title: "Shasha-Turek duplicate issue vs blocking",
+            source: "Section 4",
+            run: model_exp::e25_hedging,
+        },
+        Experiment {
+            id: "e26",
+            title: "Scalar-vector bank interference halves memory efficiency",
+            source: "Section 2.2.2",
+            run: cpu::e26_bank_conflict,
+        },
+        Experiment {
+            id: "e27",
+            title: "WiND: self-managing storage rides through wear-out",
+            source: "Section 5",
+            run: future_work::e27_wind,
+        },
+        Experiment {
+            id: "e28",
+            title: "Bimodal multicast degrades gracefully under stutter",
+            source: "Section 4",
+            run: future_work::e28_bimodal,
+        },
+        Experiment {
+            id: "e29",
+            title: "River graduated declustering absorbs a slow producer",
+            source: "Section 4",
+            run: future_work::e29_river,
+        },
+        Experiment {
+            id: "e30",
+            title: "Partitioned service: harvest/yield under a stuttering partition",
+            source: "Section 1",
+            run: cluster_exp::e30_harvest_yield,
+        },
+        Experiment {
+            id: "e31",
+            title: "The Section 3.2 scenarios on a mechanical disk substrate",
+            source: "Section 3.2",
+            run: raid::e31_raid_on_metal,
+        },
+        Experiment {
+            id: "e32",
+            title: "Ablation: chunk size vs bookkeeping vs robustness",
+            source: "Section 3.2",
+            run: ablations::e32_chunk_ablation,
+        },
+        Experiment {
+            id: "e33",
+            title: "Ablation: registry persistence window vs notification volume",
+            source: "Section 3.1",
+            run: ablations::e33_persistence_ablation,
+        },
+    ]
+}
+
+/// Looks an experiment up by id.
+pub fn by_id(id: &str) -> Option<Experiment> {
+    all().into_iter().find(|e| e.id == id)
+}

@@ -1,0 +1,454 @@
+//! The discrete-event simulation loop.
+//!
+//! A [`Simulation`] owns user-defined state `S` and a time-ordered queue of
+//! events. Each event is a boxed closure invoked with exclusive access to
+//! the state and a [`Scheduler`] through which it can read the clock and
+//! schedule further events. Events at equal times run in the order they were
+//! scheduled (FIFO tie-breaking by sequence number), which — together with
+//! the deterministic RNG in [`crate::rng`] — makes runs exactly
+//! reproducible.
+//!
+//! # Examples
+//!
+//! ```
+//! use simcore::sim::Simulation;
+//! use simcore::time::{SimDuration, SimTime};
+//!
+//! let mut sim = Simulation::new(0u32);
+//! sim.schedule_after(SimDuration::from_secs(1), |count, ctx| {
+//!     *count += 1;
+//!     ctx.after(SimDuration::from_secs(1), |count: &mut u32, _ctx| *count += 10);
+//! });
+//! sim.run();
+//! assert_eq!(sim.now(), SimTime::from_secs(2));
+//! assert_eq!(*sim.state(), 11);
+//! ```
+
+use std::cell::Cell;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::rc::Rc;
+
+use crate::time::{SimDuration, SimTime};
+
+/// A boxed event handler.
+pub type EventFn<S> = Box<dyn FnOnce(&mut S, &mut Scheduler<S>)>;
+
+struct Entry<S> {
+    at: SimTime,
+    seq: u64,
+    f: EventFn<S>,
+}
+
+impl<S> PartialEq for Entry<S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<S> Eq for Entry<S> {}
+impl<S> PartialOrd for Entry<S> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<S> Ord for Entry<S> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap but we want the earliest
+        // (time, seq) pair first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A cancellation handle for a scheduled event.
+///
+/// Dropping the handle does *not* cancel the event; call
+/// [`EventHandle::cancel`].
+#[derive(Clone, Debug)]
+pub struct EventHandle {
+    cancelled: Rc<Cell<bool>>,
+}
+
+impl EventHandle {
+    /// Cancels the event. If it has already run, this has no effect.
+    pub fn cancel(&self) {
+        self.cancelled.set(true);
+    }
+
+    /// Returns true if [`cancel`](Self::cancel) has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.get()
+    }
+}
+
+/// The scheduling interface passed to every event handler.
+///
+/// Newly scheduled events are buffered while the handler runs and merged
+/// into the queue when it returns, so handlers never contend with the loop
+/// for the queue.
+pub struct Scheduler<'a, S> {
+    now: SimTime,
+    pending: &'a mut Vec<(SimTime, EventFn<S>)>,
+    stop: &'a mut bool,
+}
+
+impl<'a, S> Scheduler<'a, S> {
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `f` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn at(&mut self, at: SimTime, f: impl FnOnce(&mut S, &mut Scheduler<S>) + 'static) {
+        assert!(at >= self.now, "cannot schedule into the past: {at} < {}", self.now);
+        self.pending.push((at, Box::new(f)));
+    }
+
+    /// Schedules `f` after a relative delay.
+    pub fn after(
+        &mut self,
+        delay: SimDuration,
+        f: impl FnOnce(&mut S, &mut Scheduler<S>) + 'static,
+    ) {
+        let at = self.now + delay;
+        self.pending.push((at, Box::new(f)));
+    }
+
+    /// Schedules `f` at `at` and returns a cancellation handle.
+    pub fn at_cancellable(
+        &mut self,
+        at: SimTime,
+        f: impl FnOnce(&mut S, &mut Scheduler<S>) + 'static,
+    ) -> EventHandle {
+        assert!(at >= self.now, "cannot schedule into the past: {at} < {}", self.now);
+        let cancelled = Rc::new(Cell::new(false));
+        let handle = EventHandle { cancelled: Rc::clone(&cancelled) };
+        self.pending.push((
+            at,
+            Box::new(move |state, ctx| {
+                if !cancelled.get() {
+                    f(state, ctx);
+                }
+            }),
+        ));
+        handle
+    }
+
+    /// Schedules a self-rearming periodic task.
+    ///
+    /// `f` runs immediately after `first_delay`; each invocation returns
+    /// `Some(next_delay)` to rearm or `None` to stop.
+    pub fn periodic(
+        &mut self,
+        first_delay: SimDuration,
+        f: impl FnMut(&mut S, &mut Scheduler<S>) -> Option<SimDuration> + 'static,
+    ) where
+        S: 'static,
+    {
+        self.after(first_delay, periodic_event(f));
+    }
+
+    /// Asks the simulation loop to stop after the current event completes.
+    ///
+    /// Events already in the queue remain there; a subsequent `run` call
+    /// resumes processing.
+    pub fn stop(&mut self) {
+        *self.stop = true;
+    }
+}
+
+fn periodic_event<S: 'static, F>(mut f: F) -> EventFn<S>
+where
+    F: FnMut(&mut S, &mut Scheduler<S>) -> Option<SimDuration> + 'static,
+{
+    Box::new(move |state, ctx| {
+        if let Some(delay) = f(state, ctx) {
+            ctx.after(delay, periodic_event(f));
+        }
+    })
+}
+
+/// A deterministic discrete-event simulation over user state `S`.
+pub struct Simulation<S> {
+    state: S,
+    queue: BinaryHeap<Entry<S>>,
+    now: SimTime,
+    seq: u64,
+    executed: u64,
+    stop: bool,
+}
+
+impl<S> Simulation<S> {
+    /// Creates a simulation at time zero owning `state`.
+    pub fn new(state: S) -> Self {
+        Simulation {
+            state,
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            executed: 0,
+            stop: false,
+        }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events currently queued.
+    pub fn events_pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Shared access to the simulation state.
+    pub fn state(&self) -> &S {
+        &self.state
+    }
+
+    /// Exclusive access to the simulation state.
+    pub fn state_mut(&mut self) -> &mut S {
+        &mut self.state
+    }
+
+    /// Consumes the simulation, returning the final state.
+    pub fn into_state(self) -> S {
+        self.state
+    }
+
+    /// Schedules `f` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the current time.
+    pub fn schedule_at(&mut self, at: SimTime, f: impl FnOnce(&mut S, &mut Scheduler<S>) + 'static) {
+        assert!(at >= self.now, "cannot schedule into the past: {at} < {}", self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Entry { at, seq, f: Box::new(f) });
+    }
+
+    /// Schedules `f` after a relative delay.
+    pub fn schedule_after(
+        &mut self,
+        delay: SimDuration,
+        f: impl FnOnce(&mut S, &mut Scheduler<S>) + 'static,
+    ) {
+        self.schedule_at(self.now + delay, f);
+    }
+
+    /// Schedules a self-rearming periodic task (see [`Scheduler::periodic`]).
+    pub fn schedule_periodic(
+        &mut self,
+        first_delay: SimDuration,
+        f: impl FnMut(&mut S, &mut Scheduler<S>) -> Option<SimDuration> + 'static,
+    ) where
+        S: 'static,
+    {
+        self.schedule_after(first_delay, periodic_event(f));
+    }
+
+    /// Executes the next event, if any, advancing the clock to it.
+    ///
+    /// Returns false when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(entry) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(entry.at >= self.now, "event queue went backwards");
+        self.now = entry.at;
+        self.executed += 1;
+        let mut pending: Vec<(SimTime, EventFn<S>)> = Vec::new();
+        {
+            let mut sched = Scheduler {
+                now: self.now,
+                pending: &mut pending,
+                stop: &mut self.stop,
+            };
+            (entry.f)(&mut self.state, &mut sched);
+        }
+        for (at, f) in pending {
+            let seq = self.seq;
+            self.seq += 1;
+            self.queue.push(Entry { at, seq, f });
+        }
+        true
+    }
+
+    /// Runs until the queue is empty or [`Scheduler::stop`] is called.
+    pub fn run(&mut self) {
+        self.stop = false;
+        while !self.stop && self.step() {}
+    }
+
+    /// Runs all events scheduled at or before `deadline`, then advances the
+    /// clock to exactly `deadline`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deadline` is in the past.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        assert!(deadline >= self.now, "deadline {deadline} is before now {}", self.now);
+        self.stop = false;
+        while !self.stop {
+            match self.queue.peek() {
+                Some(entry) if entry.at <= deadline => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        if !self.stop {
+            self.now = deadline;
+        }
+    }
+
+    /// Runs for a relative span from the current time (see
+    /// [`run_until`](Self::run_until)).
+    pub fn run_for(&mut self, span: SimDuration) {
+        self.run_until(self.now + span);
+    }
+}
+
+impl<S: std::fmt::Debug> std::fmt::Debug for Simulation<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("executed", &self.executed)
+            .field("state", &self.state)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut sim = Simulation::new(Vec::new());
+        sim.schedule_at(SimTime::from_secs(3), |log: &mut Vec<u32>, _| log.push(3));
+        sim.schedule_at(SimTime::from_secs(1), |log: &mut Vec<u32>, _| log.push(1));
+        sim.schedule_at(SimTime::from_secs(2), |log: &mut Vec<u32>, _| log.push(2));
+        sim.run();
+        assert_eq!(*sim.state(), vec![1, 2, 3]);
+        assert_eq!(sim.now(), SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut sim = Simulation::new(Vec::new());
+        let t = SimTime::from_secs(1);
+        for i in 0..10u32 {
+            sim.schedule_at(t, move |log: &mut Vec<u32>, _| log.push(i));
+        }
+        sim.run();
+        assert_eq!(*sim.state(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_scheduling_works() {
+        let mut sim = Simulation::new(0u64);
+        sim.schedule_after(SimDuration::from_secs(1), |n, ctx| {
+            *n += 1;
+            ctx.after(SimDuration::from_secs(1), |n: &mut u64, ctx| {
+                *n += 1;
+                ctx.after(SimDuration::from_secs(1), |n: &mut u64, _| *n += 1);
+            });
+        });
+        sim.run();
+        assert_eq!(*sim.state(), 3);
+        assert_eq!(sim.now(), SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn run_until_advances_clock_exactly() {
+        let mut sim = Simulation::new(0u32);
+        sim.schedule_at(SimTime::from_secs(5), |n, _| *n += 1);
+        sim.run_until(SimTime::from_secs(3));
+        assert_eq!(*sim.state(), 0);
+        assert_eq!(sim.now(), SimTime::from_secs(3));
+        sim.run_until(SimTime::from_secs(10));
+        assert_eq!(*sim.state(), 1);
+        assert_eq!(sim.now(), SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn periodic_rearms_until_none() {
+        let mut sim = Simulation::new(Vec::new());
+        sim.schedule_periodic(SimDuration::from_secs(1), |log: &mut Vec<u64>, ctx| {
+            log.push(ctx.now().as_nanos());
+            if log.len() < 3 {
+                Some(SimDuration::from_secs(2))
+            } else {
+                None
+            }
+        });
+        sim.run();
+        assert_eq!(
+            *sim.state(),
+            vec![
+                SimTime::from_secs(1).as_nanos(),
+                SimTime::from_secs(3).as_nanos(),
+                SimTime::from_secs(5).as_nanos()
+            ]
+        );
+    }
+
+    #[test]
+    fn cancellation_suppresses_handler() {
+        let mut sim = Simulation::new(0u32);
+        sim.schedule_after(SimDuration::from_secs(1), |_, ctx| {
+            let h = ctx.at_cancellable(ctx.now() + SimDuration::from_secs(1), |n: &mut u32, _| {
+                *n += 100;
+            });
+            h.cancel();
+            assert!(h.is_cancelled());
+        });
+        sim.run();
+        assert_eq!(*sim.state(), 0);
+    }
+
+    #[test]
+    fn stop_halts_and_resumes() {
+        let mut sim = Simulation::new(0u32);
+        sim.schedule_at(SimTime::from_secs(1), |n, ctx| {
+            *n += 1;
+            ctx.stop();
+        });
+        sim.schedule_at(SimTime::from_secs(2), |n, _| *n += 10);
+        sim.run();
+        assert_eq!(*sim.state(), 1);
+        sim.run();
+        assert_eq!(*sim.state(), 11);
+    }
+
+    #[test]
+    fn events_executed_counts() {
+        let mut sim = Simulation::new(());
+        for i in 0..5 {
+            sim.schedule_at(SimTime::from_secs(i), |_, _| {});
+        }
+        sim.run();
+        assert_eq!(sim.events_executed(), 5);
+        assert_eq!(sim.events_pending(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn scheduling_into_past_panics() {
+        let mut sim = Simulation::new(());
+        sim.schedule_at(SimTime::from_secs(1), |_, _| {});
+        sim.run();
+        sim.schedule_at(SimTime::ZERO, |_, _| {});
+    }
+}

@@ -1,0 +1,243 @@
+//! Online detection of performance and correctness faults.
+//!
+//! Paper §3.1 raises two detection problems this module solves:
+//!
+//! 1. **The threshold rule.** "If the disk request takes longer than `T`
+//!    seconds to service, consider it absolutely failed. Performance faults
+//!    fill in the rest of the regime when the device is working." —
+//!    [`ThresholdDetector`] implements exactly this split.
+//! 2. **Ongoing classification.** A component should be judged against its
+//!    [`PerfSpec`] using smoothed observations ([`EwmaDetector`]) or against
+//!    its peers when no trustworthy spec exists ([`PeerRelativeDetector`] —
+//!    the approach a parallel program actually has available, since "a
+//!    performance failure from the perspective of one component may not
+//!    manifest itself to others").
+
+use crate::fault::HealthState;
+use crate::spec::PerfSpec;
+use simcore::stats::Ewma;
+use simcore::time::SimDuration;
+
+/// Classifies individual request latencies using the paper's threshold `T`.
+///
+/// A request slower than `T` marks the component absolutely failed; a
+/// request slower than `degraded` (but under `T`) marks it
+/// performance-faulty; anything else is healthy.
+#[derive(Clone, Debug)]
+pub struct ThresholdDetector {
+    degraded: SimDuration,
+    failed: SimDuration,
+    state: HealthState,
+    observations: u64,
+}
+
+impl ThresholdDetector {
+    /// Creates a detector with a degraded threshold and the absolute
+    /// threshold `T = failed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `degraded < failed`.
+    pub fn new(degraded: SimDuration, failed: SimDuration) -> Self {
+        assert!(degraded < failed, "degraded threshold must be below the failure threshold");
+        ThresholdDetector { degraded, failed, state: HealthState::Healthy, observations: 0 }
+    }
+
+    /// Feeds one request latency and returns the updated health state.
+    ///
+    /// Failure is sticky: once a latency crosses `T` the component stays
+    /// failed (fail-stop components do not come back).
+    pub fn observe(&mut self, latency: SimDuration) -> HealthState {
+        self.observations += 1;
+        if matches!(self.state, HealthState::Failed) {
+            return self.state;
+        }
+        self.state = if latency >= self.failed {
+            HealthState::Failed
+        } else if latency >= self.degraded {
+            let severity =
+                (self.degraded.as_secs_f64() / latency.as_secs_f64()).clamp(0.000_001, 0.999_999);
+            HealthState::PerfFaulty { severity }
+        } else {
+            HealthState::Healthy
+        };
+        self.state
+    }
+
+    /// The current health verdict.
+    pub fn state(&self) -> HealthState {
+        self.state
+    }
+
+    /// Number of latencies observed.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+}
+
+/// Classifies a component by comparing its smoothed observed rate against a
+/// [`PerfSpec`].
+#[derive(Clone, Debug)]
+pub struct EwmaDetector {
+    spec: PerfSpec,
+    ewma: Ewma,
+}
+
+impl EwmaDetector {
+    /// Creates a detector judging against `spec`, smoothing with `alpha`.
+    pub fn new(spec: PerfSpec, alpha: f64) -> Self {
+        EwmaDetector { spec, ewma: Ewma::new(alpha) }
+    }
+
+    /// Feeds one observed rate and returns the updated health state.
+    pub fn observe(&mut self, rate: f64) -> HealthState {
+        let smoothed = self.ewma.observe(rate);
+        self.spec.classify(smoothed)
+    }
+
+    /// The current smoothed rate, if any observation has been made.
+    pub fn smoothed_rate(&self) -> Option<f64> {
+        self.ewma.value()
+    }
+
+    /// The current verdict (healthy before any observation).
+    pub fn state(&self) -> HealthState {
+        match self.ewma.value() {
+            None => HealthState::Healthy,
+            Some(rate) => self.spec.classify(rate),
+        }
+    }
+
+    /// The specification being enforced.
+    pub fn spec(&self) -> &PerfSpec {
+        &self.spec
+    }
+}
+
+/// Flags components that under-perform relative to their peers.
+///
+/// Feed one rate per component per round; a component is performance-faulty
+/// when its rate falls below `fraction` of the round's median. This needs no
+/// a-priori spec, making it usable in exactly the situations the paper's
+/// survey describes (identical parts behaving differently).
+#[derive(Clone, Debug)]
+pub struct PeerRelativeDetector {
+    fraction: f64,
+}
+
+impl PeerRelativeDetector {
+    /// Creates a detector flagging rates below `fraction · median(peers)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `fraction` is in `(0, 1]`.
+    pub fn new(fraction: f64) -> Self {
+        assert!(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0,1], got {fraction}");
+        PeerRelativeDetector { fraction }
+    }
+
+    /// Classifies every component given this round's per-component rates.
+    ///
+    /// Returns one [`HealthState`] per input, in order. Zero rates are
+    /// classified failed. With fewer than three components the median is
+    /// too fragile, so everything non-zero is reported healthy.
+    pub fn classify_round(&self, rates: &[f64]) -> Vec<HealthState> {
+        let mut sorted: Vec<f64> = rates.iter().copied().filter(|r| *r > 0.0).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("rates must not be NaN"));
+        let median = if sorted.len() >= 3 { sorted[sorted.len() / 2] } else { 0.0 };
+        rates
+            .iter()
+            .map(|&r| {
+                if r <= 0.0 {
+                    HealthState::Failed
+                } else if median > 0.0 && r < self.fraction * median {
+                    HealthState::PerfFaulty {
+                        severity: (r / median).clamp(f64::MIN_POSITIVE, 0.999_999),
+                    }
+                } else {
+                    HealthState::Healthy
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_detector_three_regimes() {
+        let mut d = ThresholdDetector::new(SimDuration::from_millis(50), SimDuration::from_secs(5));
+        assert_eq!(d.observe(SimDuration::from_millis(10)), HealthState::Healthy);
+        match d.observe(SimDuration::from_millis(100)) {
+            HealthState::PerfFaulty { severity } => assert!((severity - 0.5).abs() < 1e-9),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(d.observe(SimDuration::from_secs(6)), HealthState::Failed);
+        assert_eq!(d.observations(), 3);
+    }
+
+    #[test]
+    fn threshold_failure_is_sticky() {
+        let mut d = ThresholdDetector::new(SimDuration::from_millis(50), SimDuration::from_secs(1));
+        d.observe(SimDuration::from_secs(2));
+        assert_eq!(d.observe(SimDuration::from_millis(1)), HealthState::Failed);
+        assert_eq!(d.state(), HealthState::Failed);
+    }
+
+    #[test]
+    fn ewma_detector_smooths_transients() {
+        // Spec 10 u/s with 90% floor; heavy smoothing.
+        let mut d = EwmaDetector::new(PerfSpec::constant(10.0), 0.1);
+        for _ in 0..10 {
+            d.observe(10.0);
+        }
+        // One bad sample must not flag the component...
+        assert_eq!(d.observe(2.0), HealthState::Healthy);
+        // ...but a persistent slowdown must.
+        let mut state = d.state();
+        for _ in 0..50 {
+            state = d.observe(2.0);
+        }
+        assert!(matches!(state, HealthState::PerfFaulty { .. }), "{state:?}");
+    }
+
+    #[test]
+    fn ewma_detector_initial_state_healthy() {
+        let d = EwmaDetector::new(PerfSpec::constant(10.0), 0.5);
+        assert_eq!(d.state(), HealthState::Healthy);
+        assert_eq!(d.smoothed_rate(), None);
+        assert_eq!(*d.spec(), PerfSpec::constant(10.0));
+    }
+
+    #[test]
+    fn peer_relative_flags_the_straggler() {
+        let d = PeerRelativeDetector::new(0.8);
+        let states = d.classify_round(&[10.0, 10.1, 9.9, 10.0, 5.0]);
+        assert!(states[..4].iter().all(|s| matches!(s, HealthState::Healthy)));
+        assert!(matches!(states[4], HealthState::PerfFaulty { .. }));
+    }
+
+    #[test]
+    fn peer_relative_zero_rate_is_failed() {
+        let d = PeerRelativeDetector::new(0.8);
+        let states = d.classify_round(&[10.0, 0.0, 10.0, 10.0]);
+        assert_eq!(states[1], HealthState::Failed);
+    }
+
+    #[test]
+    fn peer_relative_small_groups_stay_healthy() {
+        let d = PeerRelativeDetector::new(0.8);
+        let states = d.classify_round(&[10.0, 1.0]);
+        assert!(states.iter().all(|s| matches!(s, HealthState::Healthy)));
+    }
+
+    #[test]
+    fn peer_relative_median_robust_to_one_outlier() {
+        let d = PeerRelativeDetector::new(0.5);
+        // One absurdly fast peer must not drag everyone into faultiness.
+        let states = d.classify_round(&[10.0, 10.0, 10.0, 1000.0]);
+        assert!(states[..3].iter().all(|s| matches!(s, HealthState::Healthy)));
+    }
+}
