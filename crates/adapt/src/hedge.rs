@@ -55,11 +55,7 @@ pub struct HedgeOutcome {
 impl HedgeOutcome {
     /// The slowest task's commit latency.
     pub fn worst_latency(&self) -> SimDuration {
-        self.tasks
-            .iter()
-            .map(|t| t.committed - t.issued)
-            .max()
-            .unwrap_or(SimDuration::ZERO)
+        self.tasks.iter().map(|t| t.committed - t.issued).max().unwrap_or(SimDuration::ZERO)
     }
 }
 
@@ -112,9 +108,7 @@ pub fn run_hedged(
         let issued = start;
         let primary = (t as usize) % rates.len();
         let p_start = next_free[primary];
-        let p_done = rates[primary]
-            .time_to_transfer(p_start, task_units)
-            .map(|d| p_start + d);
+        let p_done = rates[primary].time_to_transfer(p_start, task_units).map(|d| p_start + d);
 
         // Decide whether to hedge: the task is late if it has not
         // committed within hedge_after of issue.
@@ -142,9 +136,7 @@ pub fn run_hedged(
             .min_by_key(|&w| next_free[w])
             .expect("at least two workers");
         let s_start = next_free[secondary].max(hedge_time);
-        let s_done = rates[secondary]
-            .time_to_transfer(s_start, task_units)
-            .map(|d| s_start + d);
+        let s_done = rates[secondary].time_to_transfer(s_start, task_units).map(|d| s_start + d);
 
         let (winner, committed) = match (p_done, s_done) {
             (Some(p), Some(s)) => {
@@ -182,13 +174,7 @@ pub fn run_hedged(
         outcomes.push(TaskOutcome { issued, committed, winner, hedged: true });
     }
 
-    Some(HedgeOutcome {
-        tasks: outcomes,
-        makespan,
-        work_spent,
-        work_wasted,
-        reconciled,
-    })
+    Some(HedgeOutcome { tasks: outcomes, makespan, work_spent, work_wasted, reconciled })
 }
 
 #[cfg(test)]

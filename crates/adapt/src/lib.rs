@@ -33,6 +33,7 @@
 pub mod aimd;
 pub mod avail;
 pub mod hedge;
+pub mod oracle;
 pub mod queue;
 pub mod river;
 pub mod txn;

@@ -55,10 +55,7 @@ pub fn run_decluster(
                 per_producer[p] = partition_bytes;
                 makespan = makespan.max(partition_bytes / speeds[p]);
             }
-            DeclusterOutcome {
-                makespan: SimDuration::from_secs_f64(makespan),
-                per_producer,
-            }
+            DeclusterOutcome { makespan: SimDuration::from_secs_f64(makespan), per_producer }
         }
         DeclusterPolicy::Graduated => {
             // Fluid-optimal split: find the smallest T such that the
@@ -190,20 +187,13 @@ mod tests {
         for policy in [DeclusterPolicy::PrimaryOnly, DeclusterPolicy::Graduated] {
             let out = run_decluster(&speeds, GB, policy);
             let total: f64 = out.per_producer.iter().sum();
-            assert!(
-                (total - 5.0 * GB).abs() < 1e6,
-                "{policy:?}: served {total}"
-            );
+            assert!((total - 5.0 * GB).abs() < 1e6, "{policy:?}: served {total}");
         }
     }
 
     #[test]
     fn graduated_never_loses_to_primary_only() {
-        let cases = vec![
-            vec![10e6, 10e6],
-            vec![10e6, 2e6, 10e6],
-            vec![4e6, 10e6, 10e6, 10e6, 1e6],
-        ];
+        let cases = vec![vec![10e6, 10e6], vec![10e6, 2e6, 10e6], vec![4e6, 10e6, 10e6, 10e6, 1e6]];
         for speeds in cases {
             let p = run_decluster(&speeds, GB, DeclusterPolicy::PrimaryOnly);
             let g = run_decluster(&speeds, GB, DeclusterPolicy::Graduated);

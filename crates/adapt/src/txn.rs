@@ -69,11 +69,7 @@ pub struct TxnBatchOutcome {
 impl TxnBatchOutcome {
     /// Worst commit latency from batch start.
     pub fn worst_latency(&self) -> SimDuration {
-        self.outcomes
-            .iter()
-            .map(|o| o.committed - SimTime::ZERO)
-            .max()
-            .unwrap_or(SimDuration::ZERO)
+        self.outcomes.iter().map(|o| o.committed - SimTime::ZERO).max().unwrap_or(SimDuration::ZERO)
     }
 }
 

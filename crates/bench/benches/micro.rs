@@ -120,8 +120,10 @@ fn bench_wind(c: &mut Criterion) {
         };
         let p = wear.timeline(SimDuration::from_secs(7_200), &mut Stream::from_seed(61));
         let mut pairs: Vec<MirrorPair> = (0..4).map(|_| MirrorPair::healthy(10e6)).collect();
-        pairs[1] =
-            MirrorPair::new(VDisk::new(10e6).with_profile(p.clone()), VDisk::new(10e6).with_profile(p));
+        pairs[1] = MirrorPair::new(
+            VDisk::new(10e6).with_profile(p.clone()),
+            VDisk::new(10e6).with_profile(p),
+        );
         b.iter(|| {
             black_box(run_wind(
                 &pairs,

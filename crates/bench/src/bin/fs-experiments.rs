@@ -22,17 +22,14 @@ fn main() {
     }
     let markdown = args.iter().any(|a| a == "--markdown");
     args.retain(|a| a != "--markdown");
-    let csv_dir = args
-        .iter()
-        .position(|a| a == "--csv")
-        .map(|i| {
-            let dir = args.get(i + 1).cloned().unwrap_or_else(|| {
-                eprintln!("--csv needs a directory argument");
-                std::process::exit(2);
-            });
-            args.drain(i..=i + 1);
-            dir
+    let csv_dir = args.iter().position(|a| a == "--csv").map(|i| {
+        let dir = args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("--csv needs a directory argument");
+            std::process::exit(2);
         });
+        args.drain(i..=i + 1);
+        dir
+    });
 
     if let Some(dir) = &csv_dir {
         std::fs::create_dir_all(dir).expect("create csv output directory");

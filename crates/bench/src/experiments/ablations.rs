@@ -45,11 +45,7 @@ pub fn e32_chunk_ablation() -> Report {
     for &chunk in &[4u64, 16, 64, 256, 1_024, 8_192] {
         let out = array.write_adaptive(w, SimTime::ZERO, chunk).expect("alive");
         let entries = out.block_map.as_ref().expect("adaptive maps").len();
-        table.row(vec![
-            chunk.to_string(),
-            crate::report::mbs(out.throughput),
-            entries.to_string(),
-        ]);
+        table.row(vec![chunk.to_string(), crate::report::mbs(out.throughput), entries.to_string()]);
         results.push((chunk, out.throughput, entries));
     }
     report.tables.push(table);
@@ -83,16 +79,13 @@ pub fn e33_persistence_ablation() -> Report {
         factor: FactorDist::TwoPoint { p: 0.7, a: 1.0, b: 0.5 },
     };
     let rng = Stream::from_seed(89);
-    let mut profiles: Vec<SlowdownProfile> = (0..7)
-        .map(|i| transient.timeline(HOUR, &mut rng.derive(&format!("t{i}"))))
-        .collect();
+    let mut profiles: Vec<SlowdownProfile> =
+        (0..7).map(|i| transient.timeline(HOUR, &mut rng.derive(&format!("t{i}")))).collect();
     // The persistent fault begins at t = 600 s.
-    profiles.push(
-        SlowdownProfile::from_breakpoints(vec![
-            (SimTime::ZERO, 1.0),
-            (SimTime::from_secs(600), 0.3),
-        ]),
-    );
+    profiles.push(SlowdownProfile::from_breakpoints(vec![
+        (SimTime::ZERO, 1.0),
+        (SimTime::from_secs(600), 0.3),
+    ]));
 
     let mut table = Table::new(
         "Registry persistence window: exports vs time-to-export of a real persistent fault",
@@ -124,11 +117,7 @@ pub fn e33_persistence_ablation() -> Report {
         let latency = persistent_export
             .map(|t| (t - SimTime::from_secs(600)).as_secs_f64())
             .unwrap_or(f64::INFINITY);
-        table.row(vec![
-            window_s.to_string(),
-            exports.to_string(),
-            format!("{latency:.0} s"),
-        ]);
+        table.row(vec![window_s.to_string(), exports.to_string(), format!("{latency:.0} s")]);
         export_counts.push(exports);
         latencies.push(latency);
     }

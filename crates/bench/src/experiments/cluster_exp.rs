@@ -49,7 +49,9 @@ pub fn e14_gc_mirror() -> Report {
          over-saturates and thus is the bottleneck",
         format!(
             "backlog {} -> {}, min sampled rate {:.0} op/s",
-            clean.peak_backlog, gced.peak_backlog, gced.throughput.min()
+            clean.peak_backlog,
+            gced.peak_backlog,
+            gced.throughput.min()
         ),
         gced.peak_backlog > 20.0 * clean.peak_backlog.max(1.0)
             && gced.throughput.min() < 0.85 * clean.mean_throughput,
@@ -67,9 +69,7 @@ pub fn e16_cpu_hog() -> Report {
     let hog = Injector::StaticSlowdown { factor: 0.5 }
         .timeline(SimDuration::from_secs(3600), &mut Stream::from_seed(47));
     let mut hogged = clean.clone();
-    hogged[3] = Node::new(1e6, 10e6)
-        .with_cpu_profile(hog.clone())
-        .with_disk_profile(hog);
+    hogged[3] = Node::new(1e6, 10e6).with_cpu_profile(hog.clone()).with_disk_profile(hog);
     let static_out = run_sort(&hogged, job, Placement::Static, SimTime::ZERO);
     let adaptive_out = run_sort(&hogged, job, Placement::Adaptive, SimTime::ZERO);
 
@@ -128,9 +128,8 @@ pub fn e30_harvest_yield() -> Report {
     };
     let build = |seed: u64| -> Vec<Partition> {
         let mut parts: Vec<Partition> = (0..8).map(|_| Partition::new(100.0)).collect();
-        parts[3] = Partition::new(100.0).with_profile(
-            gc.timeline(SimDuration::from_secs(600), &mut Stream::from_seed(seed)),
-        );
+        parts[3] = Partition::new(100.0)
+            .with_profile(gc.timeline(SimDuration::from_secs(600), &mut Stream::from_seed(seed)));
         parts
     };
     let acceptable = SimDuration::from_millis(200);
@@ -147,8 +146,7 @@ pub fn e30_harvest_yield() -> Report {
         ),
     ] {
         let mut parts = build(71);
-        let out =
-            run_service(&mut parts, 5_000, SimDuration::from_millis(20), policy, acceptable);
+        let out = run_service(&mut parts, 5_000, SimDuration::from_millis(20), policy, acceptable);
         table.row(vec![
             name.into(),
             format!("{:.0}", out.latency_ms.quantile(0.5)),

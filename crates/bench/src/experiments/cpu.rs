@@ -18,16 +18,8 @@ pub fn e12_page_mapping() -> Report {
     let (colored, random) = mapping_comparison(l2, pages, 31);
     let t_colored = run_time_cycles(colored, 20.0, 50.0);
     let t_random = run_time_cycles(random, 20.0, 50.0);
-    table.row(vec![
-        "page colouring".into(),
-        pct(colored.miss_ratio()),
-        format!("{t_colored:.0}"),
-    ]);
-    table.row(vec![
-        "arbitrary".into(),
-        pct(random.miss_ratio()),
-        format!("{t_random:.0}"),
-    ]);
+    table.row(vec!["page colouring".into(), pct(colored.miss_ratio()), format!("{t_colored:.0}")]);
+    table.row(vec!["arbitrary".into(), pct(random.miss_ratio()), format!("{t_random:.0}")]);
     report.tables.push(table);
     let slowdown = t_random / t_colored;
     report.findings.push(Finding::new(
@@ -61,11 +53,7 @@ pub fn e15_memory_hog() -> Report {
         if hog_mb == 224 {
             headline = blowup;
         }
-        table.row(vec![
-            format!("{hog_mb} MB"),
-            format!("{:.2} s", r.as_secs_f64()),
-            ratio(blowup),
-        ]);
+        table.row(vec![format!("{hog_mb} MB"), format!("{:.2} s", r.as_secs_f64()), ratio(blowup)]);
     }
     report.tables.push(table);
     report.findings.push(Finding::new(

@@ -34,12 +34,7 @@ pub fn e04_badblock() -> Report {
         } else {
             dirty_bw = bw;
         }
-        table.row(vec![
-            name.into(),
-            defects.to_string(),
-            mbs(bw),
-            ratio(bw / clean_bw.max(1.0)),
-        ]);
+        table.row(vec![name.into(), defects.to_string(), mbs(bw), ratio(bw / clean_bw.max(1.0))]);
     }
     report.tables.push(table);
     let deficit = dirty_bw / clean_bw;
@@ -56,9 +51,8 @@ pub fn e04_badblock() -> Report {
 pub fn e05_scsi_errors() -> Report {
     let mut report = Report::new();
     let rng = Stream::from_seed(11);
-    let disks = (0..8)
-        .map(|i| Disk::new(Geometry::hawk_5400(), rng.derive(&format!("d{i}"))))
-        .collect();
+    let disks =
+        (0..8).map(|i| Disk::new(Geometry::hawk_5400(), rng.derive(&format!("d{i}")))).collect();
     let days = 180u64;
     let chain = ScsiChain::new(
         disks,
@@ -209,8 +203,7 @@ pub fn e08_vesta_variance() -> Report {
         let profile =
             interference.timeline(SimDuration::from_secs(600), &mut rng.derive(&format!("r{run}")));
         let mut disk = hawk(19).with_profile(profile);
-        let (bw, _) =
-            measure_sequential_read(&mut disk, SimTime::ZERO, 16 * MB, MB).expect("ok");
+        let (bw, _) = measure_sequential_read(&mut disk, SimTime::ZERO, 16 * MB, MB).expect("ok");
         results.push(bw);
     }
     let peak = results.iter().copied().fold(0.0, f64::max);
@@ -221,12 +214,7 @@ pub fn e08_vesta_variance() -> Report {
         "40 repeated runs of the same benchmark (Vesta-style variance)",
         &["peak", "runs within 10% of peak", "slowest run", "slowest vs peak"],
     );
-    table.row(vec![
-        mbs(peak),
-        format!("{near_peak}/40"),
-        mbs(low_tail),
-        pct(low_tail / peak),
-    ]);
+    table.row(vec![mbs(peak), format!("{near_peak}/40"), mbs(low_tail), pct(low_tail / peak)]);
     report.tables.push(table);
     report.findings.push(Finding::new(
         "bimodal run distribution",
@@ -250,22 +238,14 @@ pub fn e13_fs_aging() -> Report {
     let mut fresh_disk = Disk::new(g.clone(), Stream::from_seed(23).derive("d"));
     let ff = fresh_fs.create_file(60_000).expect("space");
     let (bw_fresh, _) = fresh_fs.read_file(&mut fresh_disk, ff, SimTime::ZERO).expect("ok");
-    table.row(vec![
-        "fresh".into(),
-        fresh_fs.file(ff).extent_count().to_string(),
-        mbs(bw_fresh),
-    ]);
+    table.row(vec!["fresh".into(), fresh_fs.file(ff).extent_count().to_string(), mbs(bw_fresh)]);
 
     let mut aged_fs = FileSystem::new(400_000, Stream::from_seed(23).derive("fs"));
     let mut aged_disk = Disk::new(g, Stream::from_seed(23).derive("d"));
     aged_fs.age(300);
     let af = aged_fs.create_file(60_000).expect("space");
     let (bw_aged, _) = aged_fs.read_file(&mut aged_disk, af, SimTime::ZERO).expect("ok");
-    table.row(vec![
-        "aged".into(),
-        aged_fs.file(af).extent_count().to_string(),
-        mbs(bw_aged),
-    ]);
+    table.row(vec!["aged".into(), aged_fs.file(af).extent_count().to_string(), mbs(bw_aged)]);
     report.tables.push(table);
 
     let r = bw_fresh / bw_aged;

@@ -24,10 +24,8 @@ pub fn e27_wind() -> Report {
     let rng = Stream::from_seed(61);
     let p = wear.timeline(horizon, &mut rng.derive("pair-1"));
     let mut pairs: Vec<MirrorPair> = (0..4).map(|_| MirrorPair::healthy(10e6)).collect();
-    pairs[1] = MirrorPair::new(
-        VDisk::new(10e6).with_profile(p.clone()),
-        VDisk::new(10e6).with_profile(p),
-    );
+    pairs[1] =
+        MirrorPair::new(VDisk::new(10e6).with_profile(p.clone()), VDisk::new(10e6).with_profile(p));
 
     let cfg = WindConfig::default();
     let unmanaged = run_wind(&pairs, cfg, Management::Unmanaged);
@@ -38,16 +36,9 @@ pub fn e27_wind() -> Report {
         &["management", "mean throughput", "availability", "rebuilds", "pairs lost"],
     );
     for (name, out) in [("fail-stop (unmanaged)", &unmanaged), ("fail-stutter (WiND)", &managed)] {
-        let rebuilds = out
-            .events
-            .iter()
-            .filter(|e| matches!(e, WindEvent::RebuildStarted { .. }))
-            .count();
-        let lost = out
-            .events
-            .iter()
-            .filter(|e| matches!(e, WindEvent::PairLost { .. }))
-            .count();
+        let rebuilds =
+            out.events.iter().filter(|e| matches!(e, WindEvent::RebuildStarted { .. })).count();
+        let lost = out.events.iter().filter(|e| matches!(e, WindEvent::PairLost { .. })).count();
         table.row(vec![
             name.into(),
             mbs(out.mean_throughput),
@@ -68,10 +59,8 @@ pub fn e27_wind() -> Report {
         ),
         managed.availability > 0.9 && unmanaged.availability < 0.8,
     ));
-    let predicted_rebuild = managed
-        .events
-        .iter()
-        .any(|e| matches!(e, WindEvent::RebuildStarted { pair: 1, .. }));
+    let predicted_rebuild =
+        managed.events.iter().any(|e| matches!(e, WindEvent::RebuildStarted { pair: 1, .. }));
     let no_loss = !managed.events.iter().any(|e| matches!(e, WindEvent::PairLost { .. }));
     report.findings.push(Finding::new(
         "prediction triggers the rebuild before data loss",

@@ -7,8 +7,8 @@
 pub mod ablations;
 pub mod cluster_exp;
 pub mod cpu;
-pub mod future_work;
 pub mod disks;
+pub mod future_work;
 pub mod model_exp;
 pub mod network;
 pub mod raid;

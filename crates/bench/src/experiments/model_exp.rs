@@ -22,9 +22,7 @@ pub fn e20_threshold() -> Report {
     let mut max_latencies: Vec<f64> = Vec::new();
     for c in 0..components {
         let mut r = rng.derive(&format!("c{c}"));
-        let worst = (0..requests)
-            .map(|_| lat_dist.sample(&mut r))
-            .fold(0.0f64, f64::max);
+        let worst = (0..requests).map(|_| lat_dist.sample(&mut r)).fold(0.0f64, f64::max);
         max_latencies.push(worst);
     }
 
@@ -37,11 +35,7 @@ pub fn e20_threshold() -> Report {
         let false_failures =
             max_latencies.iter().filter(|&&m| m >= t_secs).count() as f64 / components as f64;
         rates.push(false_failures);
-        table.row(vec![
-            format!("{t_secs} s"),
-            pct(false_failures),
-            format!("{t_secs} s"),
-        ]);
+        table.row(vec![format!("{t_secs} s"), pct(false_failures), format!("{t_secs} s")]);
     }
     report.tables.push(table);
     let monotone = rates.windows(2).all(|w| w[1] <= w[0]);
@@ -83,10 +77,8 @@ pub fn e21_spec_fidelity() -> Report {
     let mut legit_flagged = Vec::new();
     for (name, spec) in &specs {
         let flagged = observations.iter().filter(|&&o| !spec.is_within(o)).count();
-        let legit = observations[..geometry.zones as usize]
-            .iter()
-            .filter(|&&o| !spec.is_within(o))
-            .count();
+        let legit =
+            observations[..geometry.zones as usize].iter().filter(|&&o| !spec.is_within(o)).count();
         flagged_counts.push(flagged);
         legit_flagged.push(legit);
         table.row(vec![name.to_string(), flagged.to_string(), legit.to_string()]);
@@ -202,14 +194,8 @@ pub fn e25_hedging() -> Report {
     speeds[7] = 0.02;
     let rates: Vec<RateProfile> = speeds.iter().map(|&s| RateProfile::constant(s)).collect();
 
-    let blocking = run_hedged(
-        &rates,
-        64,
-        1.0,
-        HedgeConfig { hedge_after: None },
-        SimTime::ZERO,
-    )
-    .expect("all workers alive");
+    let blocking = run_hedged(&rates, 64, 1.0, HedgeConfig { hedge_after: None }, SimTime::ZERO)
+        .expect("all workers alive");
     let hedged = run_hedged(
         &rates,
         64,
@@ -239,8 +225,7 @@ pub fn e25_hedging() -> Report {
     ]);
     report.tables.push(table);
 
-    let tail_gain =
-        blocking.worst_latency().as_secs_f64() / hedged.worst_latency().as_secs_f64();
+    let tail_gain = blocking.worst_latency().as_secs_f64() / hedged.worst_latency().as_secs_f64();
     report.findings.push(Finding::new(
         "duplicate issue bounds the tail",
         "issuing new processes to do the work elsewhere, and reconciling properly so as to \
@@ -251,9 +236,7 @@ pub fn e25_hedging() -> Report {
             pct(hedged.work_wasted / hedged.work_spent.max(1e-9)),
             hedged.reconciled
         ),
-        tail_gain > 10.0
-            && hedged.work_wasted < 0.3 * hedged.work_spent
-            && hedged.reconciled > 0,
+        tail_gain > 10.0 && hedged.work_wasted < 0.3 * hedged.work_spent && hedged.reconciled > 0,
     ));
 
     // The original domain: transactions under a slowed processor. A 2PL
@@ -261,9 +244,8 @@ pub fn e25_hedging() -> Report {
     // re-issues and reconciles.
     let mut speeds = vec![1.0; 8];
     speeds[1] = 0.01;
-    let txns: Vec<Txn> = (0..24)
-        .map(|i| Txn { items: vec![i % 3], work: SimDuration::from_millis(10) })
-        .collect();
+    let txns: Vec<Txn> =
+        (0..24).map(|i| Txn { items: vec![i % 3], work: SimDuration::from_millis(10) }).collect();
     let blocking_txn = run_transactions(&txns, &speeds, Executor::Blocking);
     let wait_free_txn = run_transactions(
         &txns,
@@ -274,7 +256,9 @@ pub fn e25_hedging() -> Report {
         "24 conflicting transactions over 8 processors, one at 1% speed",
         &["executor", "makespan", "worst commit latency", "duplicates aborted"],
     );
-    for (name, out) in [("blocking 2PL", &blocking_txn), ("wait-free (Shasha-Turek)", &wait_free_txn)] {
+    for (name, out) in
+        [("blocking 2PL", &blocking_txn), ("wait-free (Shasha-Turek)", &wait_free_txn)]
+    {
         t2.row(vec![
             name.into(),
             format!("{:.2} s", out.makespan.as_secs_f64()),

@@ -16,12 +16,7 @@ pub fn e09_deadlock() -> Report {
     let mut above_cliff = 0.0f64;
     for &gap_ms in &[0u64, 10, 25, 40, 49, 50, 60, 100] {
         let mut fabric = WormholeFabric::new(100e6, WatchdogConfig::default());
-        let out = fabric.send_message(
-            SimTime::ZERO,
-            50,
-            10_000,
-            SimDuration::from_millis(gap_ms),
-        );
+        let out = fabric.send_message(SimTime::ZERO, 50, 10_000, SimDuration::from_millis(gap_ms));
         let secs = (out.finished - SimTime::ZERO).as_secs_f64();
         if gap_ms == 49 {
             below_cliff = secs;
@@ -48,8 +43,7 @@ pub fn e09_deadlock() -> Report {
     // Innocent-bystander check: traffic during a recovery stalls.
     let mut fabric = WormholeFabric::new(100e6, WatchdogConfig::default());
     fabric.send_message(SimTime::ZERO, 2, 1_000, SimDuration::from_millis(60));
-    let innocent =
-        fabric.send_message(SimTime::from_millis(100), 1, 1_000, SimDuration::ZERO);
+    let innocent = fabric.send_message(SimTime::from_millis(100), 1, 1_000, SimDuration::ZERO);
     report.findings.push(Finding::new(
         "recovery halts innocent traffic",
         "halting all switch traffic",
@@ -194,10 +188,7 @@ pub fn e11_transpose() -> Report {
     report.findings.push(Finding::new(
         "messages accumulate in the network",
         "once a receiver falls behind, messages accumulate",
-        format!(
-            "peak fabric occupancy {} of {} bytes",
-            out.peak_occupancy, cfg.fabric_buffer
-        ),
+        format!("peak fabric occupancy {} of {} bytes", out.peak_occupancy, cfg.fabric_buffer),
         out.peak_occupancy > cfg.fabric_buffer / 2,
     ));
     report

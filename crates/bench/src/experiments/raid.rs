@@ -73,9 +73,8 @@ pub fn e02_raid_static() -> Report {
     for &n in &[4usize, 8, 16] {
         for &frac in &[0.1, 0.25, 0.5, 0.75, 1.0] {
             let array = array_with_slow_pair(n, frac, 1);
-            let out = array
-                .write_proportional(workload(), SimTime::ZERO, SimTime::ZERO)
-                .expect("alive");
+            let out =
+                array.write_proportional(workload(), SimTime::ZERO, SimTime::ZERO).expect("alive");
             let analytic = scenario2_throughput(n, 10.0 * MB, 10.0 * MB * frac);
             let err = (out.throughput / analytic - 1.0).abs();
             worst_err = worst_err.max(err);
@@ -97,16 +96,12 @@ pub fn e02_raid_static() -> Report {
     ));
 
     // Drift: rates equal at gauge time, pair 2 collapses right after.
-    let drift = SlowdownProfile::from_breakpoints(vec![
-        (SimTime::ZERO, 1.0),
-        (SimTime::from_secs(1), 0.2),
-    ]);
+    let drift =
+        SlowdownProfile::from_breakpoints(vec![(SimTime::ZERO, 1.0), (SimTime::from_secs(1), 0.2)]);
     let mut pairs: Vec<MirrorPair> = (0..4).map(|_| MirrorPair::healthy(10.0 * MB)).collect();
     pairs[2] = MirrorPair::new(VDisk::new(10.0 * MB).with_profile(drift), VDisk::new(10.0 * MB));
     let array = Raid10::new(pairs, HOUR);
-    let out = array
-        .write_proportional(workload(), SimTime::ZERO, SimTime::ZERO)
-        .expect("alive");
+    let out = array.write_proportional(workload(), SimTime::ZERO, SimTime::ZERO).expect("alive");
     let mut drift_table = Table::new(
         "Drift after gauging (pair drops to 20% one second into the write)",
         &["design", "throughput"],
@@ -158,12 +153,7 @@ pub fn e03_raid_adaptive() -> Report {
             .sum();
         let frac = out.throughput / available;
         worst_frac = worst_frac.min(frac);
-        table.row(vec![
-            seed.to_string(),
-            mbs(available),
-            mbs(out.throughput),
-            pct(frac),
-        ]);
+        table.row(vec![seed.to_string(), mbs(available), mbs(out.throughput), pct(frac)]);
     }
     report.tables.push(table);
     report.findings.push(Finding::new(
@@ -205,16 +195,8 @@ pub fn e31_raid_on_metal() -> Report {
         "512 MB over 4 mechanical pairs (7200-RPM model), one replica at 50%",
         &["design", "throughput", "slow pair's blocks"],
     );
-    table.row(vec![
-        "equal static".into(),
-        mbs(s1.throughput),
-        s1.per_pair_blocks[0].to_string(),
-    ]);
-    table.row(vec![
-        "adaptive".into(),
-        mbs(s3.throughput),
-        s3.per_pair_blocks[0].to_string(),
-    ]);
+    table.row(vec!["equal static".into(), mbs(s1.throughput), s1.per_pair_blocks[0].to_string()]);
+    table.row(vec!["adaptive".into(), mbs(s3.throughput), s3.per_pair_blocks[0].to_string()]);
     report.tables.push(table);
     let gain = s3.throughput / s1.throughput;
     report.findings.push(Finding::new(

@@ -19,6 +19,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod experiments;
 pub mod report;
 
@@ -31,7 +32,9 @@ pub fn run_and_render(ids: &[String], markdown: bool) -> (String, bool) {
         experiments::all()
     } else {
         ids.iter()
-            .map(|id| experiments::by_id(id).unwrap_or_else(|| panic!("unknown experiment id {id}")))
+            .map(|id| {
+                experiments::by_id(id).unwrap_or_else(|| panic!("unknown experiment id {id}"))
+            })
             .collect()
     };
     let mut out = String::new();
@@ -40,7 +43,8 @@ pub fn run_and_render(ids: &[String], markdown: bool) -> (String, bool) {
         let report = (e.run)();
         let status = if report.all_pass() { "PASS" } else { "FAIL" };
         all_pass &= report.all_pass();
-        let _ = writeln!(out, "\n=== {} [{}] {} ({})", e.id.to_uppercase(), status, e.title, e.source);
+        let _ =
+            writeln!(out, "\n=== {} [{}] {} ({})", e.id.to_uppercase(), status, e.title, e.source);
         for t in &report.tables {
             let _ = writeln!(out, "{}", if markdown { t.render_markdown() } else { t.render() });
         }

@@ -188,9 +188,8 @@ impl FileSystem {
         // random sufficiently large run: deleting such a file later leaves
         // a hole in the middle of the run, which is what fragments free
         // space over time.
-        let candidates: Vec<usize> = (0..self.free.len())
-            .filter(|&i| self.free[i].len >= blocks)
-            .collect();
+        let candidates: Vec<usize> =
+            (0..self.free.len()).filter(|&i| self.free[i].len >= blocks).collect();
         if candidates.is_empty() {
             return self.create_file(blocks);
         }
@@ -289,8 +288,7 @@ mod tests {
         // The paper's factor-of-two spread between fresh and aged systems.
         let (mut fresh_fs, mut fresh_disk) = fs_and_disk(4);
         let ff = fresh_fs.create_file(30_000).expect("space");
-        let (bw_fresh, _) =
-            fresh_fs.read_file(&mut fresh_disk, ff, SimTime::ZERO).expect("ok");
+        let (bw_fresh, _) = fresh_fs.read_file(&mut fresh_disk, ff, SimTime::ZERO).expect("ok");
 
         let (mut aged_fs, mut aged_disk) = fs_and_disk(4);
         aged_fs.age(300);
@@ -298,10 +296,7 @@ mod tests {
         let (bw_aged, _) = aged_fs.read_file(&mut aged_disk, af, SimTime::ZERO).expect("ok");
 
         let ratio = bw_fresh / bw_aged;
-        assert!(
-            (1.5..4.0).contains(&ratio),
-            "fresh {bw_fresh} vs aged {bw_aged} (ratio {ratio})"
-        );
+        assert!((1.5..4.0).contains(&ratio), "fresh {bw_fresh} vs aged {bw_aged} (ratio {ratio})");
     }
 
     #[test]

@@ -66,7 +66,13 @@ impl CachedDisk {
     pub fn new(disk: Disk, config: DriveCacheConfig) -> Self {
         assert!(config.segments > 0 && config.segment_blocks > 0, "degenerate cache");
         assert!(config.bus_rate > 0.0, "bus rate must be positive");
-        CachedDisk { disk, config, segments: Vec::new(), tick: 0, stats: DriveCacheStats::default() }
+        CachedDisk {
+            disk,
+            config,
+            segments: Vec::new(),
+            tick: 0,
+            stats: DriveCacheStats::default(),
+        }
     }
 
     /// The wrapped disk.
@@ -80,9 +86,7 @@ impl CachedDisk {
     }
 
     fn find_covering(&mut self, lba: u64, n: u64) -> Option<usize> {
-        self.segments
-            .iter()
-            .position(|s| lba >= s.start && lba + n <= s.start + s.len)
+        self.segments.iter().position(|s| lba >= s.start && lba + n <= s.start + s.len)
     }
 
     fn insert_segment(&mut self, start: u64, len: u64) {

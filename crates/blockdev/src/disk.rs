@@ -181,8 +181,8 @@ impl Disk {
         let remapped = self.remap.remapped_in_range(lba, nblocks);
         if remapped > 0 {
             let spare_cyl = self.geom.cylinders - 1;
-            let round_trip = self.geom.seek_time(target_cyl, spare_cyl) * 2
-                + self.geom.rotation_time();
+            let round_trip =
+                self.geom.seek_time(target_cyl, spare_cyl) * 2 + self.geom.rotation_time();
             t += round_trip * remapped;
         }
 
@@ -235,8 +235,8 @@ mod tests {
     #[test]
     fn sequential_read_approaches_outer_rate() {
         let mut d = disk();
-        let (bw, _) = measure_sequential_read(&mut d, SimTime::ZERO, 64 * MB, MB)
-            .expect("healthy disk");
+        let (bw, _) =
+            measure_sequential_read(&mut d, SimTime::ZERO, 64 * MB, MB).expect("healthy disk");
         // Within 5% of 5.5 MB/s (seek/rotation amortised away).
         assert!((bw / 5.5e6 - 1.0).abs() < 0.05, "bw {bw}");
     }

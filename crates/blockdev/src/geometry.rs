@@ -222,7 +222,10 @@ mod tests {
     fn cylinder_of_is_monotone() {
         let g = Geometry::hawk_5400();
         assert_eq!(g.cylinder_of(0), 0);
-        assert!(g.cylinder_of(g.blocks - 1) == g.cylinders - 1 || g.cylinder_of(g.blocks - 1) == g.cylinders);
+        assert!(
+            g.cylinder_of(g.blocks - 1) == g.cylinders - 1
+                || g.cylinder_of(g.blocks - 1) == g.cylinders
+        );
     }
 
     #[test]

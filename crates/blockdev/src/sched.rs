@@ -170,11 +170,7 @@ mod tests {
         let fcfs = run_schedule(&mut disk(2), SchedPolicy::Fcfs, &batch).expect("ok");
         let sstf = run_schedule(&mut disk(2), SchedPolicy::Sstf, &batch).expect("ok");
         let far_latency = |cs: &[Completion]| {
-            cs.iter()
-                .find(|c| c.request == far)
-                .expect("present")
-                .latency()
-                .as_secs_f64()
+            cs.iter().find(|c| c.request == far).expect("present").latency().as_secs_f64()
         };
         let f = far_latency(&fcfs);
         let s = far_latency(&sstf);

@@ -126,8 +126,7 @@ impl ScsiChain {
         const W_NETWORK: f64 = 1.0 - W_SCSI / 0.87;
         const W_OTHER: f64 = 1.0 - W_SCSI - W_NETWORK;
         // Split timeouts-vs-parity 60/40 (the paper does not separate them).
-        let weights =
-            WeightedIndex::new(&[W_SCSI * 0.6, W_SCSI * 0.4, W_NETWORK, W_OTHER]);
+        let weights = WeightedIndex::new(&[W_SCSI * 0.6, W_SCSI * 0.4, W_NETWORK, W_OTHER]);
         // The SCSI MTBE covers only the timeout+parity share, so the
         // all-category arrival rate is scaled up accordingly.
         let mean_any = process.scsi_mtbe.as_secs_f64() * W_SCSI;

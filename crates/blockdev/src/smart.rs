@@ -111,8 +111,7 @@ impl SmartLog {
             return None;
         }
 
-        let recent_count =
-            self.recent.iter().filter(|&&(_, e)| e == event).count() as u64;
+        let recent_count = self.recent.iter().filter(|&&(_, e)| e == event).count() as u64;
         if recent_count < self.config.min_events {
             return None;
         }
@@ -196,8 +195,7 @@ mod tests {
         }
         let mut count = 0;
         for i in 0..100u64 {
-            if l.record(SimTime::from_secs(53 * 7 * DAY + i * 600), SmartEvent::Timeout).is_some()
-            {
+            if l.record(SimTime::from_secs(53 * 7 * DAY + i * 600), SmartEvent::Timeout).is_some() {
                 count += 1;
             }
         }

@@ -118,8 +118,7 @@ pub fn run_dds(bricks: &[Brick], config: DdsConfig) -> DdsOutcome {
                 peak_backlog = peak_backlog.max(backlog[r]);
             }
         }
-        let acked: f64 =
-            (0..pairs).map(|p| applied[2 * p].min(applied[2 * p + 1])).sum();
+        let acked: f64 = (0..pairs).map(|p| applied[2 * p].min(applied[2 * p + 1])).sum();
         acked_so_far = acked;
         if step % sample_every == 0 && t > last_sample_t {
             let rate = (acked - last_sample_acked) / (t - last_sample_t).as_secs_f64();

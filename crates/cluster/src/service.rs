@@ -168,9 +168,8 @@ mod tests {
             factor: 0.02,
         };
         let mut parts = healthy(n);
-        parts[3] = Partition::new(100.0).with_profile(
-            gc.timeline(SimDuration::from_secs(600), &mut Stream::from_seed(seed)),
-        );
+        parts[3] = Partition::new(100.0)
+            .with_profile(gc.timeline(SimDuration::from_secs(600), &mut Stream::from_seed(seed)));
         parts
     }
 
@@ -181,13 +180,8 @@ mod tests {
             ResponsePolicy::PartialHarvest { deadline: SimDuration::from_millis(100) },
         ] {
             let mut parts = healthy(8);
-            let out = run_service(
-                &mut parts,
-                2_000,
-                SimDuration::from_millis(20),
-                policy,
-                ACCEPTABLE,
-            );
+            let out =
+                run_service(&mut parts, 2_000, SimDuration::from_millis(20), policy, ACCEPTABLE);
             assert_eq!(out.yield_fraction, 1.0, "{policy:?}");
             assert!((out.mean_harvest - 1.0).abs() < 1e-9, "{policy:?}");
             assert!(out.latency_ms.quantile(0.99) < 50.0, "{policy:?}");
@@ -231,9 +225,8 @@ mod tests {
     #[test]
     fn failed_partition_kills_full_but_not_partial() {
         let mut parts = healthy(4);
-        parts[2] = Partition::new(100.0).with_profile(
-            SlowdownProfile::nominal().with_failure_at(SimTime::from_secs(1)),
-        );
+        parts[2] = Partition::new(100.0)
+            .with_profile(SlowdownProfile::nominal().with_failure_at(SimTime::from_secs(1)));
         let mut full_parts = parts.clone();
         let full = run_service(
             &mut full_parts,

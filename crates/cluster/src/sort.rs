@@ -63,20 +63,15 @@ pub struct SortOutcome {
 /// Phase time for a node integrates its (possibly stuttering) rate, and
 /// every phase ends at the *slowest* node's finish — the barrier that makes
 /// parallel sorts so sensitive to one perturbed machine.
-pub fn run_sort(
-    nodes: &[Node],
-    job: SortJob,
-    placement: Placement,
-    start: SimTime,
-) -> SortOutcome {
+pub fn run_sort(nodes: &[Node], job: SortJob, placement: Placement, start: SimTime) -> SortOutcome {
     assert!(!nodes.is_empty(), "need at least one node");
     let horizon = SimDuration::from_secs(1 << 20);
     let n = nodes.len() as u64;
 
     let per_node: Vec<u64> = match placement {
-        Placement::Static => {
-            (0..nodes.len()).map(|i| job.records / n + u64::from((i as u64) < job.records % n)).collect()
-        }
+        Placement::Static => (0..nodes.len())
+            .map(|i| job.records / n + u64::from((i as u64) < job.records % n))
+            .collect(),
         Placement::Adaptive => {
             // Gauge each node's end-to-end records/second at sort start:
             // the harmonic composition of disk (2 passes) and CPU (1 pass).
@@ -103,10 +98,7 @@ pub fn run_sort(
             continue;
         }
         let bytes = (recs * job.record_bytes) as f64;
-        let dt = node
-            .disk_rate_profile(horizon)
-            .time_to_transfer(start, bytes)
-            .unwrap_or(horizon);
+        let dt = node.disk_rate_profile(horizon).time_to_transfer(start, bytes).unwrap_or(horizon);
         t_read = t_read.max(dt);
     }
     let after_read = start + t_read;
@@ -132,10 +124,8 @@ pub fn run_sort(
             continue;
         }
         let bytes = (recs * job.record_bytes) as f64;
-        let dt = node
-            .disk_rate_profile(horizon)
-            .time_to_transfer(after_sort, bytes)
-            .unwrap_or(horizon);
+        let dt =
+            node.disk_rate_profile(horizon).time_to_transfer(after_sort, bytes).unwrap_or(horizon);
         t_write = t_write.max(dt);
     }
 
@@ -202,11 +192,9 @@ mod tests {
         // doubles; with a disk hog too, the whole pipeline doubles.
         let hog = Injector::StaticSlowdown { factor: 0.5 };
         let mut nodes = cluster();
-        let profile =
-            hog.timeline(SimDuration::from_secs(3600), &mut Stream::from_seed(1));
-        nodes[3] = Node::new(1e6, 10e6)
-            .with_cpu_profile(profile.clone())
-            .with_disk_profile(profile);
+        let profile = hog.timeline(SimDuration::from_secs(3600), &mut Stream::from_seed(1));
+        nodes[3] =
+            Node::new(1e6, 10e6).with_cpu_profile(profile.clone()).with_disk_profile(profile);
         let clean = run_sort(&cluster(), job(), Placement::Static, SimTime::ZERO);
         let dirty = run_sort(&nodes, job(), Placement::Static, SimTime::ZERO);
         let slowdown = dirty.total.as_secs_f64() / clean.total.as_secs_f64();
@@ -217,11 +205,9 @@ mod tests {
     fn adaptive_placement_absorbs_the_hog() {
         let hog = Injector::StaticSlowdown { factor: 0.5 };
         let mut nodes = cluster();
-        let profile =
-            hog.timeline(SimDuration::from_secs(3600), &mut Stream::from_seed(1));
-        nodes[3] = Node::new(1e6, 10e6)
-            .with_cpu_profile(profile.clone())
-            .with_disk_profile(profile);
+        let profile = hog.timeline(SimDuration::from_secs(3600), &mut Stream::from_seed(1));
+        nodes[3] =
+            Node::new(1e6, 10e6).with_cpu_profile(profile.clone()).with_disk_profile(profile);
         let static_out = run_sort(&nodes, job(), Placement::Static, SimTime::ZERO);
         let adaptive_out = run_sort(&nodes, job(), Placement::Adaptive, SimTime::ZERO);
         assert!(
@@ -239,7 +225,8 @@ mod tests {
     #[test]
     fn records_are_conserved() {
         for placement in [Placement::Static, Placement::Adaptive] {
-            let out = run_sort(&cluster(), SortJob::minute_sort(1_000_003), placement, SimTime::ZERO);
+            let out =
+                run_sort(&cluster(), SortJob::minute_sort(1_000_003), placement, SimTime::ZERO);
             assert_eq!(out.per_node.iter().sum::<u64>(), 1_000_003, "{placement:?}");
         }
     }
@@ -247,7 +234,8 @@ mod tests {
     #[test]
     fn single_node_sort_works() {
         let nodes = vec![Node::new(1e6, 10e6)];
-        let out = run_sort(&nodes, SortJob::minute_sort(1_000_000), Placement::Static, SimTime::ZERO);
+        let out =
+            run_sort(&nodes, SortJob::minute_sort(1_000_000), Placement::Static, SimTime::ZERO);
         assert_eq!(out.total, SimDuration::from_secs(21));
     }
 }

@@ -123,10 +123,7 @@ impl Cache {
     pub fn mask_random_lines(&mut self, fraction: f64, seed: u64) {
         assert!((0.0..1.0).contains(&fraction), "fraction {fraction} out of [0,1)");
         let max_frac = (self.config.ways - 1) as f64 / self.config.ways as f64;
-        assert!(
-            fraction <= max_frac,
-            "fraction {fraction} would kill whole sets (max {max_frac})"
-        );
+        assert!(fraction <= max_frac, "fraction {fraction} would kill whole sets (max {max_frac})");
         self.tags.fill(None);
         self.stamps.fill(0);
         self.dead.fill(false);
@@ -140,9 +137,7 @@ impl Cache {
             // lose a whole set shut the set off, which `mask_ways` models.
             let set = slot / self.config.ways as usize;
             let base = set * self.config.ways as usize;
-            let live = (0..self.config.ways as usize)
-                .filter(|&w| !self.dead[base + w])
-                .count();
+            let live = (0..self.config.ways as usize).filter(|&w| !self.dead[base + w]).count();
             if !self.dead[slot] && live > 1 {
                 self.dead[slot] = true;
                 disabled += 1;
@@ -269,7 +264,7 @@ mod tests {
         let mix = |cache: &mut Cache| {
             // 6 KB hot loop (cacheable on spec part) + light streaming.
             run_working_set(cache, 6 * 1024, 32, 1);
-            
+
             run_working_set(cache, 6 * 1024, 32, 16)
         };
         let mut spec = Cache::new(CacheConfig::viking_spec());

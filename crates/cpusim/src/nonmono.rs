@@ -87,11 +87,8 @@ pub fn run_snippet(
         for b in 0..snippet.branches {
             let pc = base + b * snippet.spacing;
             // Each branch jumps to the next branch; the last jumps back.
-            let target = if b + 1 < snippet.branches {
-                base + (b + 1) * snippet.spacing
-            } else {
-                base
-            };
+            let target =
+                if b + 1 < snippet.branches { base + (b + 1) * snippet.spacing } else { base };
             fu.transfer(pc, target);
         }
     }
@@ -101,11 +98,7 @@ pub fn run_snippet(
 
 /// Runs the same snippet at every `alignment` in `bases`, returning
 /// `(best_cycles, worst_cycles)`.
-pub fn alignment_spread(
-    snippet: Snippet,
-    bases: &[u64],
-    predictor_slots: usize,
-) -> (f64, f64) {
+pub fn alignment_spread(snippet: Snippet, bases: &[u64], predictor_slots: usize) -> (f64, f64) {
     let mut best = f64::INFINITY;
     let mut worst = 0.0f64;
     for &base in bases {

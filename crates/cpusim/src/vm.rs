@@ -109,11 +109,7 @@ impl VmMachine {
 
 /// Runs the Chen–Bershad comparison: the same working set under coloured
 /// and random placement; returns `(colored_stats, random_stats)`.
-pub fn mapping_comparison(
-    config: CacheConfig,
-    pages: u64,
-    seed: u64,
-) -> (CacheStats, CacheStats) {
+pub fn mapping_comparison(config: CacheConfig, pages: u64, seed: u64) -> (CacheStats, CacheStats) {
     let mut colored = VmMachine::new(config, Allocation::Colored, Stream::from_seed(seed));
     let mut random = VmMachine::new(config, Allocation::Random, Stream::from_seed(seed));
     let colored_stats = colored.run_sweeps(pages, 32, 4);

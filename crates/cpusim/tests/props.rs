@@ -121,3 +121,38 @@ proptest! {
         prop_assert_eq!(s1.misses, s2.misses);
     }
 }
+
+proptest! {
+    /// Memory-hog interference (§2.2.2) only ever hurts: with any hog
+    /// present the victim's interactive response and batch time are at
+    /// least the hog-free baseline, and clearing the hogs restores the
+    /// baseline exactly.
+    #[test]
+    fn hog_never_speeds_up_victim(
+        ws_mb in 1u64..256,
+        compute_ms in 1u64..500,
+        hog_mem_mb in 0u64..512,
+        hog_cpu_pct in 0u32..200,
+        work_ms in 1u64..500,
+    ) {
+        let compute = simcore::time::SimDuration::from_millis(compute_ms);
+        let work = simcore::time::SimDuration::from_millis(work_ms);
+        let ws = ws_mb << 20;
+        let baseline = Machine::workstation();
+        let mut hogged = Machine::workstation();
+        hogged.add_hog(Demand {
+            memory: hog_mem_mb << 20,
+            cpu: f64::from(hog_cpu_pct) / 100.0,
+        });
+        prop_assert!(
+            hogged.interactive_response(compute, ws) >= baseline.interactive_response(compute, ws)
+        );
+        prop_assert!(hogged.batch_time(work) >= baseline.batch_time(work));
+        hogged.clear_hogs();
+        prop_assert_eq!(
+            hogged.interactive_response(compute, ws),
+            baseline.interactive_response(compute, ws)
+        );
+        prop_assert_eq!(hogged.batch_time(work), baseline.batch_time(work));
+    }
+}

@@ -141,10 +141,8 @@ pub fn run_adaptive_transfer(config: &TransferConfig, arb: PortArbitration) -> T
         }
     }
 
-    let route_finish: Vec<SimDuration> = finish
-        .iter()
-        .map(|f| config.epoch * f.expect("all routes finished"))
-        .collect();
+    let route_finish: Vec<SimDuration> =
+        finish.iter().map(|f| config.epoch * f.expect("all routes finished")).collect();
     let elapsed = route_finish.iter().copied().max().expect("non-empty");
     let total = config.bytes_per_route * config.routes as f64;
     TransferOutcome { elapsed, goodput: total / elapsed.as_secs_f64(), route_finish }
@@ -154,8 +152,7 @@ pub fn run_adaptive_transfer(config: &TransferConfig, arb: PortArbitration) -> T
 fn max_min_share(demands: &[f64], budget: f64) -> Vec<f64> {
     let mut alloc = vec![0.0; demands.len()];
     let mut left = budget;
-    let mut active: Vec<usize> =
-        (0..demands.len()).filter(|&i| demands[i] > 0.0).collect();
+    let mut active: Vec<usize> = (0..demands.len()).filter(|&i| demands[i] > 0.0).collect();
     while !active.is_empty() && left > 1e-12 {
         let share = left / active.len() as f64;
         let mut satisfied = Vec::new();

@@ -42,13 +42,10 @@ pub mod prelude {
         run_adaptive_transfer, PortArbitration, TransferConfig, TransferOutcome,
     };
     pub use crate::link::{Delivery, Link};
-    pub use crate::multicast::{
-        run_multicast, McastConfig, McastOutcome, McastProtocol, Member,
-    };
+    pub use crate::multicast::{run_multicast, McastConfig, McastOutcome, McastProtocol, Member};
     pub use crate::switch::{Arbitration, Forwarded, Packet, Switch};
     pub use crate::transpose::{
-        barrier_transpose_time, healthy_baseline, run_transpose, TransposeConfig,
-        TransposeResult,
+        barrier_transpose_time, healthy_baseline, run_transpose, TransposeConfig, TransposeResult,
     };
     pub use crate::wormhole::{MessageOutcome, WatchdogConfig, WormholeFabric};
 }

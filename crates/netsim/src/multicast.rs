@@ -158,9 +158,8 @@ mod tests {
             duration: DurationDist::Const(SimDuration::from_secs(2)),
         };
         let mut members: Vec<Member> = (0..n).map(|_| Member::new(1_000.0)).collect();
-        members[1] = Member::new(1_000.0).with_profile(
-            gc.timeline(SimDuration::from_secs(240), &mut Stream::from_seed(seed)),
-        );
+        members[1] = Member::new(1_000.0)
+            .with_profile(gc.timeline(SimDuration::from_secs(240), &mut Stream::from_seed(seed)));
         members
     }
 
@@ -220,9 +219,8 @@ mod tests {
     #[test]
     fn permanently_failed_member_blocks_atomic_forever() {
         let mut members: Vec<Member> = (0..4).map(|_| Member::new(1_000.0)).collect();
-        members[2] = Member::new(1_000.0).with_profile(
-            SlowdownProfile::nominal().with_failure_at(SimTime::from_secs(10)),
-        );
+        members[2] = Member::new(1_000.0)
+            .with_profile(SlowdownProfile::nominal().with_failure_at(SimTime::from_secs(10)));
         let atomic = run_multicast(&members, McastConfig::default(), McastProtocol::Atomic);
         let bimodal = run_multicast(&members, McastConfig::default(), McastProtocol::Bimodal);
         // Atomic delivery freezes at the failure point: ~10 s of 120 s.

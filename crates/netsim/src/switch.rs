@@ -138,11 +138,8 @@ impl Switch {
                 Arbitration::Fair => {
                     // Pick the first candidate at or after the round-robin
                     // pointer, wrapping.
-                    let pick = candidates
-                        .iter()
-                        .copied()
-                        .find(|&i| i >= rr_next)
-                        .unwrap_or(candidates[0]);
+                    let pick =
+                        candidates.iter().copied().find(|&i| i >= rr_next).unwrap_or(candidates[0]);
                     rr_next = (pick + 1) % self.inputs;
                     pick
                 }

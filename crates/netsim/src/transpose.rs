@@ -128,11 +128,7 @@ pub fn run_transpose(config: &TransposeConfig, drain_multipliers: &[f64]) -> Tra
     }
 
     let elapsed = SimDuration::from_secs_f64(t);
-    TransposeResult {
-        elapsed,
-        goodput: total_bytes / t,
-        peak_occupancy: peak.round() as u64,
-    }
+    TransposeResult { elapsed, goodput: total_bytes / t, peak_occupancy: peak.round() as u64 }
 }
 
 /// Completion time of a barrier-synchronised transpose: `n` phases, each
@@ -141,8 +137,8 @@ pub fn barrier_transpose_time(config: &TransposeConfig, drain_multipliers: &[f64
     assert_eq!(drain_multipliers.len(), config.nodes, "one multiplier per node");
     let slowest = drain_multipliers.iter().copied().fold(f64::INFINITY, f64::min);
     assert!(slowest > 0.0, "a zero-rate receiver never finishes");
-    let phase = config.bytes_per_pair as f64
-        / (config.drain_rate * slowest).min(config.inject_rate);
+    let phase =
+        config.bytes_per_pair as f64 / (config.drain_rate * slowest).min(config.inject_rate);
     SimDuration::from_secs_f64(phase * config.nodes as f64)
 }
 

@@ -156,8 +156,8 @@ mod tests {
         let mut above = fabric();
         let b = below.send_message(SimTime::ZERO, 50, 10_000, SimDuration::from_millis(49));
         let a = above.send_message(SimTime::ZERO, 50, 10_000, SimDuration::from_millis(50));
-        let slowdown = (a.finished - SimTime::ZERO).as_secs_f64()
-            / (b.finished - SimTime::ZERO).as_secs_f64();
+        let slowdown =
+            (a.finished - SimTime::ZERO).as_secs_f64() / (b.finished - SimTime::ZERO).as_secs_f64();
         assert!(slowdown > 10.0, "crossing the watchdog must be a cliff: {slowdown}");
     }
 

@@ -157,3 +157,62 @@ proptest! {
         prop_assert!(atomic.peak_lag >= atomic.final_lag - 1e-6);
     }
 }
+
+proptest! {
+    /// Slow-port backpressure bounds (§2.1.3): an output port serialises
+    /// at `rate`, so (a) bytes delivered through it never exceed
+    /// `rate × deadline`, (b) the backlog can shrink no faster than every
+    /// port draining flat out, and (c) because queueing is per-output, an
+    /// overloaded port's backpressure never leaks into another port's
+    /// deliveries.
+    #[test]
+    fn slow_port_backpressure_bounds(
+        packets in proptest::collection::vec((0u64..1_000, 0usize..4, 1u64..60_000), 1..64),
+        extra in proptest::collection::vec((0u64..1_000, 0usize..4, 1u64..60_000), 1..64),
+        deadline_ms in 100u64..2_000,
+    ) {
+        let rate = 1e6;
+        let deadline = SimTime::from_millis(deadline_ms);
+        let mut base = Switch::new(4, 2, rate, Arbitration::Fair);
+        let mut loaded = Switch::new(4, 2, rate, Arbitration::Fair);
+        let mut offered = 0u64;
+        for &(at_ms, input, bytes) in &packets {
+            let p = Packet { at: SimTime::from_millis(at_ms), input, output: 0, bytes };
+            base.enqueue(p);
+            loaded.enqueue(p);
+            offered += bytes;
+        }
+        // Congest output 1 of the loaded switch only.
+        for &(at_ms, input, bytes) in &extra {
+            loaded.enqueue(Packet { at: SimTime::from_millis(at_ms), input, output: 1, bytes });
+            offered += bytes;
+        }
+        let base_done = base.drain_until(deadline);
+        let loaded_done = loaded.drain_until(deadline);
+
+        // (a) serialisation ceiling on the slow port.
+        let through_port0: u64 = base_done.iter().map(|f| f.packet.bytes).sum();
+        prop_assert!(
+            through_port0 as f64 <= rate * deadline.as_secs_f64() * (1.0 + 1e-9) + 1.0,
+            "port 0 moved {through_port0} bytes in {deadline_ms} ms"
+        );
+
+        // (b) work-conservation floor on the backlog.
+        let max_drainable = 2.0 * rate * deadline.as_secs_f64();
+        prop_assert!(
+            loaded.backlog_bytes() as f64 >= offered as f64 - max_drainable - 1.0,
+            "backlog {} below floor", loaded.backlog_bytes()
+        );
+
+        // (c) output isolation: identical deliveries on the uncongested path.
+        let out0_base: Vec<&Forwarded> =
+            base_done.iter().filter(|f| f.packet.output == 0).collect();
+        let out0_loaded: Vec<&Forwarded> =
+            loaded_done.iter().filter(|f| f.packet.output == 0).collect();
+        prop_assert_eq!(out0_base.len(), out0_loaded.len());
+        for (a, b) in out0_base.iter().zip(&out0_loaded) {
+            prop_assert_eq!(a.packet, b.packet);
+            prop_assert_eq!(a.done, b.done);
+        }
+    }
+}

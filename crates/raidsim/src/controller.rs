@@ -327,12 +327,10 @@ mod tests {
 
     /// N pairs at B = 10 MB/s, with pair 0 slowed to `b_frac` of B.
     fn array_with_slow_pair(n: usize, b_frac: f64) -> Raid10 {
-        let slow = Injector::StaticSlowdown { factor: b_frac }
-            .timeline(HOUR, &mut Stream::from_seed(1));
-        let mut pairs = vec![MirrorPair::new(
-            VDisk::new(10.0 * MB).with_profile(slow),
-            VDisk::new(10.0 * MB),
-        )];
+        let slow =
+            Injector::StaticSlowdown { factor: b_frac }.timeline(HOUR, &mut Stream::from_seed(1));
+        let mut pairs =
+            vec![MirrorPair::new(VDisk::new(10.0 * MB).with_profile(slow), VDisk::new(10.0 * MB))];
         for _ in 1..n {
             pairs.push(MirrorPair::healthy(10.0 * MB));
         }
@@ -360,9 +358,8 @@ mod tests {
     #[test]
     fn scenario2_matches_n_minus_one_b_plus_b() {
         let array = array_with_slow_pair(4, 0.5);
-        let out = array
-            .write_proportional(workload(), SimTime::ZERO, SimTime::ZERO)
-            .expect("alive");
+        let out =
+            array.write_proportional(workload(), SimTime::ZERO, SimTime::ZERO).expect("alive");
         let predicted = 3.0 * 10.0 * MB + 5.0 * MB;
         assert!(
             (out.throughput / predicted - 1.0).abs() < 0.01,
@@ -378,11 +375,7 @@ mod tests {
         let array = array_with_slow_pair(4, 0.5);
         let out = array.write_adaptive(workload(), SimTime::ZERO, 64).expect("alive");
         let available = 3.0 * 10.0 * MB + 5.0 * MB;
-        assert!(
-            out.throughput > 0.97 * available,
-            "got {} of {available}",
-            out.throughput
-        );
+        assert!(out.throughput > 0.97 * available, "got {} of {available}", out.throughput);
         // Bookkeeping: the block map covers every block exactly once.
         let map = out.block_map.as_ref().expect("adaptive keeps a map");
         let mut covered = 0;
@@ -401,17 +394,12 @@ mod tests {
             (SimTime::ZERO, 1.0),
             (SimTime::from_secs(1), 0.2),
         ]);
-        let mut pairs: Vec<MirrorPair> =
-            (0..4).map(|_| MirrorPair::healthy(10.0 * MB)).collect();
-        pairs[2] = MirrorPair::new(
-            VDisk::new(10.0 * MB).with_profile(drift),
-            VDisk::new(10.0 * MB),
-        );
+        let mut pairs: Vec<MirrorPair> = (0..4).map(|_| MirrorPair::healthy(10.0 * MB)).collect();
+        pairs[2] =
+            MirrorPair::new(VDisk::new(10.0 * MB).with_profile(drift), VDisk::new(10.0 * MB));
         let array = Raid10::new(pairs, HOUR);
         let w = workload();
-        let s2 = array
-            .write_proportional(w, SimTime::ZERO, SimTime::ZERO)
-            .expect("alive");
+        let s2 = array.write_proportional(w, SimTime::ZERO, SimTime::ZERO).expect("alive");
         let s3 = array.write_adaptive(w, SimTime::ZERO, 64).expect("alive");
         // Scenario 2 gauged equal rates, so it degenerates to scenario 1:
         // ~4·2 = 8 MB/s. Scenario 3 keeps ~32 MB/s.
@@ -423,8 +411,7 @@ mod tests {
     fn static_design_halts_on_pair_failure() {
         let dead_a = SlowdownProfile::nominal().with_failure_at(SimTime::from_secs(5));
         let dead_b = SlowdownProfile::nominal().with_failure_at(SimTime::from_secs(6));
-        let mut pairs: Vec<MirrorPair> =
-            (0..4).map(|_| MirrorPair::healthy(10.0 * MB)).collect();
+        let mut pairs: Vec<MirrorPair> = (0..4).map(|_| MirrorPair::healthy(10.0 * MB)).collect();
         pairs[1] = MirrorPair::new(
             VDisk::new(10.0 * MB).with_profile(dead_a),
             VDisk::new(10.0 * MB).with_profile(dead_b),
@@ -438,8 +425,7 @@ mod tests {
     fn adaptive_design_survives_pair_failure() {
         let dead_a = SlowdownProfile::nominal().with_failure_at(SimTime::from_secs(5));
         let dead_b = SlowdownProfile::nominal().with_failure_at(SimTime::from_secs(6));
-        let mut pairs: Vec<MirrorPair> =
-            (0..4).map(|_| MirrorPair::healthy(10.0 * MB)).collect();
+        let mut pairs: Vec<MirrorPair> = (0..4).map(|_| MirrorPair::healthy(10.0 * MB)).collect();
         pairs[1] = MirrorPair::new(
             VDisk::new(10.0 * MB).with_profile(dead_a),
             VDisk::new(10.0 * MB).with_profile(dead_b),
@@ -456,12 +442,9 @@ mod tests {
     #[test]
     fn single_disk_failure_in_a_pair_is_transparent() {
         let dying = SlowdownProfile::nominal().with_failure_at(SimTime::from_secs(3));
-        let mut pairs: Vec<MirrorPair> =
-            (0..2).map(|_| MirrorPair::healthy(10.0 * MB)).collect();
-        pairs[0] = MirrorPair::new(
-            VDisk::new(10.0 * MB).with_profile(dying),
-            VDisk::new(10.0 * MB),
-        );
+        let mut pairs: Vec<MirrorPair> = (0..2).map(|_| MirrorPair::healthy(10.0 * MB)).collect();
+        pairs[0] =
+            MirrorPair::new(VDisk::new(10.0 * MB).with_profile(dying), VDisk::new(10.0 * MB));
         let array = Raid10::new(pairs, HOUR);
         let out = array.write_static(workload(), SimTime::ZERO).expect("degraded, not dead");
         assert!((out.throughput / (20.0 * MB) - 1.0).abs() < 0.01);
@@ -481,19 +464,13 @@ mod tests {
             array.write_proportional(w, SimTime::ZERO, SimTime::ZERO),
             Err(RaidError::NoUsablePairs)
         ));
-        assert!(matches!(
-            array.write_adaptive(w, SimTime::ZERO, 4),
-            Err(RaidError::NoUsablePairs)
-        ));
+        assert!(matches!(array.write_adaptive(w, SimTime::ZERO, 4), Err(RaidError::NoUsablePairs)));
     }
 
     #[test]
     fn read_static_uses_summed_replica_rates() {
         // A healthy pair reads at 2x its write rate.
-        let array = Raid10::new(
-            (0..4).map(|_| MirrorPair::healthy(10.0 * MB)).collect(),
-            HOUR,
-        );
+        let array = Raid10::new((0..4).map(|_| MirrorPair::healthy(10.0 * MB)).collect(), HOUR);
         let w = workload();
         let writes = array.write_static(w, SimTime::ZERO).expect("alive");
         let reads = array.read_static(w, SimTime::ZERO).expect("alive");
@@ -508,8 +485,11 @@ mod tests {
         let adaptive_read = array.read_adaptive(w, SimTime::ZERO, 64).expect("alive");
         // Static read tracks the slow pair: pair 0 reads at 2 + 10 = 12
         // MB/s (slow replica + healthy replica), so throughput is 4*12.
-        assert!((static_read.throughput / (48.0 * MB) - 1.0).abs() < 0.01,
-            "{}", static_read.throughput);
+        assert!(
+            (static_read.throughput / (48.0 * MB) - 1.0).abs() < 0.01,
+            "{}",
+            static_read.throughput
+        );
         // Adaptive: 3*20 + 12 = 72 MB/s available.
         assert!(adaptive_read.throughput > 69.0 * MB, "{}", adaptive_read.throughput);
     }
@@ -517,10 +497,7 @@ mod tests {
     #[test]
     fn degraded_pair_reads_at_survivor_rate() {
         let dead = SlowdownProfile::nominal().with_failure_at(SimTime::ZERO);
-        let pair = MirrorPair::new(
-            VDisk::new(10.0 * MB).with_profile(dead),
-            VDisk::new(10.0 * MB),
-        );
+        let pair = MirrorPair::new(VDisk::new(10.0 * MB).with_profile(dead), VDisk::new(10.0 * MB));
         assert_eq!(pair.read_rate_at(SimTime::from_secs(1)), 10.0 * MB);
         let array = Raid10::new(vec![pair, MirrorPair::healthy(10.0 * MB)], HOUR);
         let out = array.read_static(Workload::new(1_024, 65_536), SimTime::ZERO).expect("alive");
@@ -532,9 +509,7 @@ mod tests {
     fn proportional_assignment_sums_to_d() {
         let array = array_with_slow_pair(7, 0.37);
         let w = Workload::new(100_003, 4096);
-        let out = array
-            .write_proportional(w, SimTime::ZERO, SimTime::ZERO)
-            .expect("alive");
+        let out = array.write_proportional(w, SimTime::ZERO, SimTime::ZERO).expect("alive");
         assert_eq!(out.per_pair_blocks.iter().sum::<u64>(), w.blocks);
     }
 }

@@ -40,6 +40,7 @@
 pub mod controller;
 pub mod mech;
 pub mod model;
+pub mod oracle;
 pub mod reads;
 pub mod spare;
 pub mod vdisk;
@@ -52,6 +53,7 @@ pub mod prelude {
     pub use crate::model::{
         scenario1_throughput, scenario1_waste, scenario2_throughput, scenario3_throughput,
     };
+    pub use crate::oracle::{Band, Violation};
     pub use crate::reads::{read_workload, ReadOutcome, ReadPolicy};
     pub use crate::spare::{rebuild_to_spare, RebuildOutcome, RebuildPolicy};
     pub use crate::vdisk::{MirrorPair, VDisk};

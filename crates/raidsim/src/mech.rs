@@ -202,9 +202,7 @@ mod tests {
         // The §3.2 shape on a mechanical substrate.
         let build = || {
             MechRaid10::new(
-                (0..4)
-                    .map(|i| pair(i, if i == 0 { Some(0.5) } else { None }))
-                    .collect(),
+                (0..4).map(|i| pair(i, if i == 0 { Some(0.5) } else { None })).collect(),
             )
         };
         let s1 = build().write_static(workload(), SimTime::ZERO, 64).expect("alive");
@@ -212,18 +210,14 @@ mod tests {
         // Static tracks the slow pair; adaptive recovers most of the gap.
         assert!(s3.throughput > 1.4 * s1.throughput, "s1 {} s3 {}", s1.throughput, s3.throughput);
         // And the slow pair received fewer blocks under adaptation.
-        assert!(
-            s3.per_pair_blocks[0] < s3.per_pair_blocks[1],
-            "{:?}",
-            s3.per_pair_blocks
-        );
+        assert!(s3.per_pair_blocks[0] < s3.per_pair_blocks[1], "{:?}", s3.per_pair_blocks);
     }
 
     #[test]
     fn single_replica_failure_degrades_not_halts() {
         let root = Stream::from_seed(9);
-        let dying = stutter::injector::SlowdownProfile::nominal()
-            .with_failure_at(SimTime::from_secs(1));
+        let dying =
+            stutter::injector::SlowdownProfile::nominal().with_failure_at(SimTime::from_secs(1));
         let a = Disk::new(Geometry::barracuda_7200(), root.derive("a")).with_profile(dying);
         let b = Disk::new(Geometry::barracuda_7200(), root.derive("b"));
         let mut pairs = vec![MechPair::new(a, b)];
@@ -259,10 +253,6 @@ mod tests {
             .write_adaptive(workload(), SimTime::ZERO, 64)
             .expect("alive");
         // The remap-heavy pair did less of the work.
-        assert!(
-            dirty.per_pair_blocks[0] < dirty.per_pair_blocks[1],
-            "{:?}",
-            dirty.per_pair_blocks
-        );
+        assert!(dirty.per_pair_blocks[0] < dirty.per_pair_blocks[1], "{:?}", dirty.per_pair_blocks);
     }
 }

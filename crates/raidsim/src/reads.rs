@@ -153,17 +153,15 @@ mod tests {
     const HOUR: SimDuration = SimDuration::from_secs(3600);
 
     fn slow_primary_pair(factor: f64) -> MirrorPair {
-        let slow = Injector::StaticSlowdown { factor }
-            .timeline(HOUR, &mut Stream::from_seed(1));
+        let slow = Injector::StaticSlowdown { factor }.timeline(HOUR, &mut Stream::from_seed(1));
         MirrorPair::new(VDisk::new(10.0 * MB).with_profile(slow), VDisk::new(10.0 * MB))
     }
 
     #[test]
     fn healthy_pair_alternate_doubles_read_bandwidth() {
         let pair = MirrorPair::healthy(10.0 * MB);
-        let primary =
-            read_workload(&pair, ReadPolicy::Primary, 100, 1 << 20, SimTime::ZERO, HOUR)
-                .expect("alive");
+        let primary = read_workload(&pair, ReadPolicy::Primary, 100, 1 << 20, SimTime::ZERO, HOUR)
+            .expect("alive");
         let alternate =
             read_workload(&pair, ReadPolicy::Alternate, 100, 1 << 20, SimTime::ZERO, HOUR)
                 .expect("alive");
@@ -175,9 +173,8 @@ mod tests {
     #[test]
     fn slow_primary_gates_primary_policy_only() {
         let pair = slow_primary_pair(0.2);
-        let primary =
-            read_workload(&pair, ReadPolicy::Primary, 50, 1 << 20, SimTime::ZERO, HOUR)
-                .expect("alive");
+        let primary = read_workload(&pair, ReadPolicy::Primary, 50, 1 << 20, SimTime::ZERO, HOUR)
+            .expect("alive");
         let fastest =
             read_workload(&pair, ReadPolicy::FastestReplica, 50, 1 << 20, SimTime::ZERO, HOUR)
                 .expect("alive");
@@ -207,10 +204,8 @@ mod tests {
     #[test]
     fn primary_fails_over_on_absolute_failure() {
         let dying = SlowdownProfile::nominal().with_failure_at(SimTime::from_secs(2));
-        let pair = MirrorPair::new(
-            VDisk::new(10.0 * MB).with_profile(dying),
-            VDisk::new(10.0 * MB),
-        );
+        let pair =
+            MirrorPair::new(VDisk::new(10.0 * MB).with_profile(dying), VDisk::new(10.0 * MB));
         let out = read_workload(&pair, ReadPolicy::Primary, 100, 1 << 20, SimTime::ZERO, HOUR)
             .expect("survivor carries reads");
         assert!(out.per_replica.0 > 0, "primary served before dying");
@@ -237,10 +232,8 @@ mod tests {
             (SimTime::ZERO, 1.0),
             (SimTime::from_secs(5), 0.1),
         ]);
-        let pair = MirrorPair::new(
-            VDisk::new(10.0 * MB).with_profile(drift),
-            VDisk::new(10.0 * MB),
-        );
+        let pair =
+            MirrorPair::new(VDisk::new(10.0 * MB).with_profile(drift), VDisk::new(10.0 * MB));
         let out =
             read_workload(&pair, ReadPolicy::FastestReplica, 200, 1 << 20, SimTime::ZERO, HOUR)
                 .expect("alive");

@@ -47,10 +47,7 @@ pub fn rebuild_to_spare(
     start: SimTime,
     horizon: SimDuration,
 ) -> Option<RebuildOutcome> {
-    assert!(
-        (0.0..=1.0).contains(&policy.rebuild_share),
-        "rebuild share must be a fraction"
-    );
+    assert!((0.0..=1.0).contains(&policy.rebuild_share), "rebuild share must be a fraction");
     assert!(spare_rate > 0.0, "spare rate must be positive");
     let survivor = if survivor_is_a { &pair.a } else { &pair.b };
     // Walk the survivor's profile integrating the rebuild share of its rate,

@@ -144,8 +144,7 @@ impl MirrorPair {
         }
         times.sort_unstable();
         times.dedup();
-        let bps: Vec<(SimTime, f64)> =
-            times.into_iter().map(|t| (t, rate(self, t))).collect();
+        let bps: Vec<(SimTime, f64)> = times.into_iter().map(|t| (t, rate(self, t))).collect();
         RateProfile::from_breakpoints(bps)
     }
 
@@ -182,22 +181,16 @@ mod tests {
     fn pair_tracks_slowest_replica() {
         // The paper: "the rate of each mirror is determined by the rate of
         // its slowest disk."
-        let slow = Injector::StaticSlowdown { factor: 0.5 }
-            .timeline(HOUR, &mut Stream::from_seed(1));
-        let p = MirrorPair::new(
-            VDisk::new(10.0 * MB),
-            VDisk::new(10.0 * MB).with_profile(slow),
-        );
+        let slow =
+            Injector::StaticSlowdown { factor: 0.5 }.timeline(HOUR, &mut Stream::from_seed(1));
+        let p = MirrorPair::new(VDisk::new(10.0 * MB), VDisk::new(10.0 * MB).with_profile(slow));
         assert_eq!(p.write_rate_at(SimTime::ZERO), 5.0 * MB);
     }
 
     #[test]
     fn single_failure_degrades_to_survivor() {
         let dead = SlowdownProfile::nominal().with_failure_at(SimTime::from_secs(10));
-        let p = MirrorPair::new(
-            VDisk::new(10.0 * MB).with_profile(dead),
-            VDisk::new(10.0 * MB),
-        );
+        let p = MirrorPair::new(VDisk::new(10.0 * MB).with_profile(dead), VDisk::new(10.0 * MB));
         assert_eq!(p.write_rate_at(SimTime::from_secs(5)), 10.0 * MB);
         // After the failure, the survivor carries the pair at full rate.
         assert_eq!(p.write_rate_at(SimTime::from_secs(20)), 10.0 * MB);
@@ -227,10 +220,7 @@ mod tests {
             (SimTime::ZERO, 1.0),
             (SimTime::from_secs(5), 0.5),
         ]);
-        let p = MirrorPair::new(
-            VDisk::new(10.0 * MB),
-            VDisk::new(10.0 * MB).with_profile(stepped),
-        );
+        let p = MirrorPair::new(VDisk::new(10.0 * MB), VDisk::new(10.0 * MB).with_profile(stepped));
         // 75 MB: 50 MB in the first 5 s, then 25 MB at 5 MB/s = 5 s more.
         let t = p.time_to_write(SimTime::ZERO, 75.0 * MB, HOUR).expect("alive");
         assert_eq!(t, SimDuration::from_secs(10));
@@ -238,13 +228,10 @@ mod tests {
 
     #[test]
     fn write_rate_profile_reflects_failure_handover() {
-        let slow = Injector::StaticSlowdown { factor: 0.3 }
-            .timeline(HOUR, &mut Stream::from_seed(2));
+        let slow =
+            Injector::StaticSlowdown { factor: 0.3 }.timeline(HOUR, &mut Stream::from_seed(2));
         let dying = slow.with_failure_at(SimTime::from_secs(100));
-        let p = MirrorPair::new(
-            VDisk::new(10.0 * MB).with_profile(dying),
-            VDisk::new(10.0 * MB),
-        );
+        let p = MirrorPair::new(VDisk::new(10.0 * MB).with_profile(dying), VDisk::new(10.0 * MB));
         let prof = p.write_rate_profile(HOUR);
         // Before failure the stuttering replica gates the pair at 3 MB/s;
         // after it dies the healthy survivor restores 10 MB/s.

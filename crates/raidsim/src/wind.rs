@@ -153,9 +153,8 @@ pub fn run_wind(pairs: &[MirrorPair], config: WindConfig, management: Management
         slope_threshold: 0.05,
         consecutive_below: 4,
     };
-    let mut monitors: Vec<Monitor> = (0..n)
-        .map(|i| Monitor::new(ComponentId(i as u32), spec.clone(), 0.3, predictor))
-        .collect();
+    let mut monitors: Vec<Monitor> =
+        (0..n).map(|i| Monitor::new(ComponentId(i as u32), spec.clone(), 0.3, predictor)).collect();
     let mut registry = Registry::new(SimDuration::from_secs(60));
     let mut state = vec![PairState::Stuttering; n];
     let mut events = Vec::new();
@@ -297,7 +296,10 @@ mod tests {
             fail_after: Some(SimDuration::from_secs(600)),
         };
         let p = inj.timeline(SimDuration::from_secs(7_200), &mut Stream::from_seed(seed));
-        MirrorPair::new(VDisk::new(10.0 * MB).with_profile(p.clone()), VDisk::new(10.0 * MB).with_profile(p))
+        MirrorPair::new(
+            VDisk::new(10.0 * MB).with_profile(p.clone()),
+            VDisk::new(10.0 * MB).with_profile(p),
+        )
     }
 
     #[test]
@@ -314,13 +316,10 @@ mod tests {
     fn managed_array_survives_wearout_with_a_spare() {
         let mut pairs = healthy_pairs(4);
         pairs[1] = wearing_pair(3);
-        let managed = run_wind(&pairs, WindConfig::default(), Management::Managed { hot_spares: 1 });
+        let managed =
+            run_wind(&pairs, WindConfig::default(), Management::Managed { hot_spares: 1 });
         let unmanaged = run_wind(&pairs, WindConfig::default(), Management::Unmanaged);
-        assert!(
-            managed.availability > 0.9,
-            "managed availability {}",
-            managed.availability
-        );
+        assert!(managed.availability > 0.9, "managed availability {}", managed.availability);
         assert!(
             unmanaged.availability < managed.availability,
             "unmanaged {} vs managed {}",
@@ -328,7 +327,10 @@ mod tests {
             managed.availability
         );
         // The pipeline actually ran: prediction → rebuild → completion.
-        assert!(managed.events.iter().any(|e| matches!(e, WindEvent::RebuildStarted { pair: 1, .. })));
+        assert!(managed
+            .events
+            .iter()
+            .any(|e| matches!(e, WindEvent::RebuildStarted { pair: 1, .. })));
         assert!(managed
             .events
             .iter()
@@ -390,16 +392,9 @@ mod tests {
         let mut pairs = healthy_pairs(6);
         pairs[0] = wearing_pair(21);
         pairs[4] = wearing_pair(22);
-        let out = run_wind(
-            &pairs,
-            WindConfig::default(),
-            Management::Managed { hot_spares: 2 },
-        );
-        let rebuilds = out
-            .events
-            .iter()
-            .filter(|e| matches!(e, WindEvent::RebuildStarted { .. }))
-            .count();
+        let out = run_wind(&pairs, WindConfig::default(), Management::Managed { hot_spares: 2 });
+        let rebuilds =
+            out.events.iter().filter(|e| matches!(e, WindEvent::RebuildStarted { .. })).count();
         assert_eq!(rebuilds, 2);
         assert!(out.availability > 0.9, "{}", out.availability);
     }

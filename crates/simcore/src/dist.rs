@@ -358,9 +358,7 @@ impl WeightedIndex {
     pub fn sample(&self, rng: &mut Stream) -> usize {
         let total = *self.cumulative.last().expect("non-empty");
         let u = rng.next_f64() * total;
-        self.cumulative
-            .partition_point(|&c| c <= u)
-            .min(self.cumulative.len() - 1)
+        self.cumulative.partition_point(|&c| c <= u).min(self.cumulative.len() - 1)
     }
 }
 

@@ -51,8 +51,8 @@ pub mod trace;
 /// Convenience re-exports of the items nearly every model needs.
 pub mod prelude {
     pub use crate::dist::{
-        Constant, Distribution, Exponential, LogNormal, Normal, Pareto, TwoPoint, Uniform,
-        Weibull, WeightedIndex, Zipf,
+        Constant, Distribution, Exponential, LogNormal, Normal, Pareto, TwoPoint, Uniform, Weibull,
+        WeightedIndex, Zipf,
     };
     pub use crate::resource::{FcfsServer, Grant, RateProfile, TokenBucket};
     pub use crate::rng::Stream;

@@ -167,11 +167,7 @@ impl RateProfile {
         let mut cursor = from;
         let mut idx = self.segments.partition_point(|&(s, _)| s <= from) - 1;
         while cursor < to {
-            let seg_end = self
-                .segments
-                .get(idx + 1)
-                .map_or(SimTime::MAX, |&(s, _)| s)
-                .min(to);
+            let seg_end = self.segments.get(idx + 1).map_or(SimTime::MAX, |&(s, _)| s).min(to);
             total += self.segments[idx].1 * (seg_end - cursor).as_secs_f64();
             cursor = seg_end;
             idx += 1;
@@ -350,10 +346,7 @@ mod tests {
             (SimTime::from_secs(1), 0.0),
         ]);
         assert_eq!(p.time_to_transfer(SimTime::ZERO, 100.0), None);
-        assert_eq!(
-            p.time_to_transfer(SimTime::ZERO, 10.0),
-            Some(SimDuration::from_secs(1))
-        );
+        assert_eq!(p.time_to_transfer(SimTime::ZERO, 10.0), Some(SimDuration::from_secs(1)));
     }
 
     #[test]

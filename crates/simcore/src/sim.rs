@@ -229,7 +229,11 @@ impl<S> Simulation<S> {
     /// # Panics
     ///
     /// Panics if `at` is earlier than the current time.
-    pub fn schedule_at(&mut self, at: SimTime, f: impl FnOnce(&mut S, &mut Scheduler<S>) + 'static) {
+    pub fn schedule_at(
+        &mut self,
+        at: SimTime,
+        f: impl FnOnce(&mut S, &mut Scheduler<S>) + 'static,
+    ) {
         assert!(at >= self.now, "cannot schedule into the past: {at} < {}", self.now);
         let seq = self.seq;
         self.seq += 1;
@@ -268,11 +272,8 @@ impl<S> Simulation<S> {
         self.executed += 1;
         let mut pending: Vec<(SimTime, EventFn<S>)> = Vec::new();
         {
-            let mut sched = Scheduler {
-                now: self.now,
-                pending: &mut pending,
-                stop: &mut self.stop,
-            };
+            let mut sched =
+                Scheduler { now: self.now, pending: &mut pending, stop: &mut self.stop };
             (entry.f)(&mut self.state, &mut sched);
         }
         for (at, f) in pending {

@@ -377,8 +377,7 @@ impl Series {
             return self.clone();
         }
         let stride = self.points.len().div_ceil(n);
-        let mut points: Vec<(SimTime, f64)> =
-            self.points.iter().step_by(stride).copied().collect();
+        let mut points: Vec<(SimTime, f64)> = self.points.iter().step_by(stride).copied().collect();
         if points.last() != self.points.last() {
             points.push(*self.points.last().expect("non-empty"));
         }
@@ -480,10 +479,7 @@ mod tests {
         }
         for &(q, expect) in &[(0.5, 5_000.0), (0.9, 9_000.0), (0.99, 9_900.0)] {
             let got = h.quantile(q);
-            assert!(
-                (got / expect - 1.0).abs() < 0.06,
-                "q{q}: got {got}, expected ~{expect}"
-            );
+            assert!((got / expect - 1.0).abs() < 0.06, "q{q}: got {got}, expected ~{expect}");
         }
         assert_eq!(h.count(), 10_000);
         assert!((h.mean() - 5_000.5).abs() < 1e-6);

@@ -146,10 +146,7 @@ impl SimDuration {
     ///
     /// Panics if `factor` is negative or NaN.
     pub fn mul_f64(self, factor: f64) -> Self {
-        assert!(
-            factor >= 0.0 && !factor.is_nan(),
-            "factor must be non-negative, got {factor}"
-        );
+        assert!(factor >= 0.0 && !factor.is_nan(), "factor must be non-negative, got {factor}");
         let scaled = self.0 as f64 * factor;
         if scaled >= u64::MAX as f64 {
             SimDuration::MAX

@@ -79,12 +79,7 @@ pub fn events_from_profile(component: ComponentId, profile: &SlowdownProfile) ->
         events.push(FaultEvent { component, at: start, duration, kind });
     }
     if let Some(f) = profile.fail_at() {
-        events.push(FaultEvent {
-            component,
-            at: f,
-            duration: None,
-            kind: FaultKind::Correctness,
-        });
+        events.push(FaultEvent { component, at: f, duration: None, kind: FaultKind::Correctness });
     }
     events
 }
@@ -112,12 +107,8 @@ mod tests {
 
     #[test]
     fn single_bounded_fault_round_trips() {
-        let events = vec![perf_fault(
-            C,
-            SimTime::from_secs(100),
-            Some(SimDuration::from_secs(60)),
-            0.4,
-        )];
+        let events =
+            vec![perf_fault(C, SimTime::from_secs(100), Some(SimDuration::from_secs(60)), 0.4)];
         let p = profile_from_events(&events);
         assert_eq!(p.multiplier_at(SimTime::from_secs(50)), 1.0);
         assert_eq!(p.multiplier_at(SimTime::from_secs(130)), 0.4);
@@ -127,7 +118,9 @@ mod tests {
         assert_eq!(back.len(), 1);
         assert_eq!(back[0].at, SimTime::from_secs(100));
         assert_eq!(back[0].duration, Some(SimDuration::from_secs(60)));
-        assert!(matches!(back[0].kind, FaultKind::Performance { severity } if (severity - 0.4).abs() < 1e-12));
+        assert!(
+            matches!(back[0].kind, FaultKind::Performance { severity } if (severity - 0.4).abs() < 1e-12)
+        );
     }
 
     #[test]
@@ -175,10 +168,8 @@ mod tests {
 
     #[test]
     fn earliest_correctness_fault_wins() {
-        let events = vec![
-            fail_stop(C, SimTime::from_secs(200)),
-            fail_stop(C, SimTime::from_secs(100)),
-        ];
+        let events =
+            vec![fail_stop(C, SimTime::from_secs(200)), fail_stop(C, SimTime::from_secs(100))];
         let p = profile_from_events(&events);
         assert_eq!(p.fail_at(), Some(SimTime::from_secs(100)));
     }

@@ -209,8 +209,12 @@ mod tests {
 
     #[test]
     fn badness_orders_states() {
-        assert!(HealthState::Healthy.badness() < HealthState::PerfFaulty { severity: 0.9 }.badness());
-        assert!(HealthState::PerfFaulty { severity: 0.1 }.badness() < HealthState::Failed.badness());
+        assert!(
+            HealthState::Healthy.badness() < HealthState::PerfFaulty { severity: 0.9 }.badness()
+        );
+        assert!(
+            HealthState::PerfFaulty { severity: 0.1 }.badness() < HealthState::Failed.badness()
+        );
     }
 
     #[test]

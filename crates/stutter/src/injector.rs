@@ -69,9 +69,7 @@ impl DurationDist {
     pub fn sample(&self, rng: &mut Stream) -> SimDuration {
         let secs = match *self {
             DurationDist::Const(d) => return d,
-            DurationDist::Exp { mean } => {
-                Exponential::with_mean(mean.as_secs_f64()).sample(rng)
-            }
+            DurationDist::Exp { mean } => Exponential::with_mean(mean.as_secs_f64()).sample(rng),
             DurationDist::Uniform { lo, hi } => {
                 Uniform::new(lo.as_secs_f64(), hi.as_secs_f64()).sample(rng)
             }
@@ -81,9 +79,7 @@ impl DurationDist {
             DurationDist::Pareto { min, alpha } => {
                 Pareto::new(min.as_secs_f64(), alpha).sample(rng)
             }
-            DurationDist::Weibull { scale, k } => {
-                Weibull::new(scale.as_secs_f64(), k).sample(rng)
-            }
+            DurationDist::Weibull { scale, k } => Weibull::new(scale.as_secs_f64(), k).sample(rng),
         };
         SimDuration::from_secs_f64(secs.max(0.0))
     }
@@ -644,11 +640,9 @@ mod tests {
             DurationDist::Exp { mean: SimDuration::from_secs(5) }.mean(),
             SimDuration::from_secs(5)
         );
-        let m = DurationDist::Uniform {
-            lo: SimDuration::from_secs(2),
-            hi: SimDuration::from_secs(4),
-        }
-        .mean();
+        let m =
+            DurationDist::Uniform { lo: SimDuration::from_secs(2), hi: SimDuration::from_secs(4) }
+                .mean();
         assert_eq!(m, SimDuration::from_secs(3));
         // Heavy Pareto saturates.
         assert_eq!(

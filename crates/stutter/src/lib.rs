@@ -60,6 +60,7 @@ pub mod events;
 pub mod fault;
 pub mod injector;
 pub mod monitor;
+pub mod oracle;
 pub mod predict;
 pub mod registry;
 pub mod spec;
@@ -71,6 +72,7 @@ pub mod prelude {
     pub use crate::fault::{ComponentId, FaultEvent, FaultKind, HealthState};
     pub use crate::injector::{DurationDist, FactorDist, Injector, SlowdownProfile};
     pub use crate::monitor::{fit_spec, Monitor, MonitorEvent, SpecFidelity};
+    pub use crate::oracle::{check_export_agreement, predict_export, ExportPrediction};
     pub use crate::predict::{FailurePredictor, Prediction, PredictorConfig};
     pub use crate::registry::{Notification, Registry};
     pub use crate::spec::PerfSpec;

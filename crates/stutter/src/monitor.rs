@@ -43,7 +43,12 @@ pub struct Monitor {
 impl Monitor {
     /// Creates a monitor judging `id` against `spec`, smoothing with
     /// `alpha`, predicting with `predictor_config`.
-    pub fn new(id: ComponentId, spec: PerfSpec, alpha: f64, predictor_config: PredictorConfig) -> Self {
+    pub fn new(
+        id: ComponentId,
+        spec: PerfSpec,
+        alpha: f64,
+        predictor_config: PredictorConfig,
+    ) -> Self {
         let expected_rate = spec.expected_rate();
         Monitor {
             id,
@@ -67,11 +72,7 @@ impl Monitor {
     /// Feeds one observed rate at `now`, reporting to `registry`.
     pub fn observe(&mut self, now: SimTime, rate: f64, registry: &mut Registry) -> MonitorEvent {
         self.observations += 1;
-        let verdict = if rate <= 0.0 {
-            HealthState::Failed
-        } else {
-            self.detector.observe(rate)
-        };
+        let verdict = if rate <= 0.0 { HealthState::Failed } else { self.detector.observe(rate) };
         let exported = registry.report(self.id, now, verdict);
         let prediction = self.predictor.observe(now, rate / self.expected_rate);
         MonitorEvent { verdict, exported, prediction }

@@ -113,8 +113,7 @@ impl FailurePredictor {
     fn fit(&self) -> (f64, f64) {
         let n = self.samples.len() as f64;
         let t0 = self.samples.front().expect("non-empty").0;
-        let xs: Vec<f64> =
-            self.samples.iter().map(|&(t, _)| (t - t0).as_secs_f64()).collect();
+        let xs: Vec<f64> = self.samples.iter().map(|&(t, _)| (t - t0).as_secs_f64()).collect();
         let ys: Vec<f64> = self.samples.iter().map(|&(_, y)| y).collect();
         let mean_x = xs.iter().sum::<f64>() / n;
         let mean_y = ys.iter().sum::<f64>() / n;

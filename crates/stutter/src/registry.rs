@@ -186,7 +186,11 @@ mod tests {
         let n = r.report(C, SimTime::from_secs(1), HealthState::Failed);
         assert_eq!(
             n,
-            Some(Notification { component: C, at: SimTime::from_secs(1), state: HealthState::Failed })
+            Some(Notification {
+                component: C,
+                at: SimTime::from_secs(1),
+                state: HealthState::Failed
+            })
         );
         assert_eq!(r.exported(C), HealthState::Failed);
     }

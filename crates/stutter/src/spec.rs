@@ -56,10 +56,7 @@ impl PerfSpec {
     /// Panics if `nominal` is not positive or `tolerance` outside `(0, 1]`.
     pub fn constant_with_tolerance(nominal: f64, tolerance: f64) -> Self {
         assert!(nominal > 0.0, "nominal rate must be positive, got {nominal}");
-        assert!(
-            tolerance > 0.0 && tolerance <= 1.0,
-            "tolerance must be in (0,1], got {tolerance}"
-        );
+        assert!(tolerance > 0.0 && tolerance <= 1.0, "tolerance must be in (0,1], got {tolerance}");
         PerfSpec::Constant { nominal, tolerance }
     }
 
@@ -98,9 +95,7 @@ impl PerfSpec {
     pub fn fault_floor(&self) -> f64 {
         match *self {
             PerfSpec::Constant { nominal, tolerance } => nominal * tolerance,
-            PerfSpec::Distribution { mean, cv, k_sigma } => {
-                (mean - k_sigma * cv * mean).max(0.0)
-            }
+            PerfSpec::Distribution { mean, cv, k_sigma } => (mean - k_sigma * cv * mean).max(0.0),
             PerfSpec::Envelope { min, .. } => min,
         }
     }

@@ -18,8 +18,8 @@ fn main() {
 
     // One replica of pair 0 delivers half its specified bandwidth — a
     // performance fault, not a failure.
-    let slow = Injector::StaticSlowdown { factor: b / big_b }
-        .timeline(horizon, &mut Stream::from_seed(1));
+    let slow =
+        Injector::StaticSlowdown { factor: b / big_b }.timeline(horizon, &mut Stream::from_seed(1));
     let mut pairs: Vec<MirrorPair> = (0..n).map(|_| MirrorPair::healthy(big_b)).collect();
     pairs[0] = MirrorPair::new(VDisk::new(big_b).with_profile(slow), VDisk::new(big_b));
     let array = Raid10::new(pairs, horizon);
@@ -28,9 +28,8 @@ fn main() {
     let w = Workload::new(65_536, 65_536);
 
     let s1 = array.write_static(w, SimTime::ZERO).expect("no absolute failures");
-    let s2 = array
-        .write_proportional(w, SimTime::ZERO, SimTime::ZERO)
-        .expect("no absolute failures");
+    let s2 =
+        array.write_proportional(w, SimTime::ZERO, SimTime::ZERO).expect("no absolute failures");
     let s3 = array.write_adaptive(w, SimTime::ZERO, 64).expect("no absolute failures");
 
     println!("RAID-10, N = {n} pairs, B = 10 MB/s, one pair at b = 5 MB/s\n");

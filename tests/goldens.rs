@@ -18,12 +18,7 @@ fn golden_rng_stream() {
     let first: Vec<u64> = (0..4).map(|_| s.next_u64()).collect();
     assert_eq!(
         first,
-        vec![
-            1546998764402558742,
-            6990951692964543102,
-            12544586762248559009,
-            17057574109182124193
-        ]
+        vec![1546998764402558742, 6990951692964543102, 12544586762248559009, 17057574109182124193]
     );
     let mut d = Stream::from_seed(42).derive("disk-0");
     assert_eq!(d.next_u64(), 8688729524810016982);
@@ -101,9 +96,8 @@ fn golden_adaptive_raid_write() {
         })
         .collect();
     let array = Raid10::new(pairs, SimDuration::from_secs(3_600));
-    let out = array
-        .write_adaptive(Workload::new(16_384, 65_536), SimTime::ZERO, 64)
-        .expect("alive");
+    let out =
+        array.write_adaptive(Workload::new(16_384, 65_536), SimTime::ZERO, 64).expect("alive");
     assert_eq!(out.elapsed.as_nanos(), 39_205_471_668, "elapsed drifted: {}", out.elapsed);
     assert_eq!(out.per_pair_blocks.iter().sum::<u64>(), 16_384);
 }

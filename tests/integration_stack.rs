@@ -48,8 +48,7 @@ fn detect_export_and_route_around() {
 
     // Phase 2: reaction. Feed the exported states into pull-based work
     // distribution and verify the faulty disk gets proportionally less.
-    let rates: Vec<RateProfile> =
-        profiles.iter().map(|p| p.to_rate_profile(10e6)).collect();
+    let rates: Vec<RateProfile> = profiles.iter().map(|p| p.to_rate_profile(10e6)).collect();
     let out = distribute(Strategy::Pull, &rates, 400, 1e6, SimTime::ZERO).expect("all alive");
     assert!(
         (out.per_consumer[2] as f64) < 0.5 * out.per_consumer[0] as f64,
@@ -64,7 +63,8 @@ fn detect_export_and_route_around() {
 fn mechanical_gauging_feeds_proportional_striping() {
     // Gauge two real (mechanical-model) disks: one clean, one remap-heavy.
     let mut clean = Disk::new(Geometry::hawk_5400(), Stream::from_seed(1));
-    let mut dirty = Disk::new(Geometry::hawk_5400(), Stream::from_seed(1)).with_random_defects(2_000);
+    let mut dirty =
+        Disk::new(Geometry::hawk_5400(), Stream::from_seed(1)).with_random_defects(2_000);
     let (bw_clean, _) =
         measure_sequential_read(&mut clean, SimTime::ZERO, 32 << 20, 1 << 20).expect("ok");
     let (bw_dirty, _) =
@@ -141,8 +141,7 @@ fn predict_then_rebuild_before_failure() {
 /// task batch bounds the tail.
 #[test]
 fn sort_and_hedging_agree_on_the_straggler() {
-    let hog = Injector::StaticSlowdown { factor: 0.5 }
-        .timeline(HOUR, &mut Stream::from_seed(11));
+    let hog = Injector::StaticSlowdown { factor: 0.5 }.timeline(HOUR, &mut Stream::from_seed(11));
     let mut nodes: Vec<Node> = (0..8).map(|_| Node::new(1e6, 10e6)).collect();
     nodes[5] = Node::new(1e6, 10e6).with_cpu_profile(hog.clone()).with_disk_profile(hog.clone());
 
@@ -152,13 +151,9 @@ fn sort_and_hedging_agree_on_the_straggler() {
     assert!(adaptive_out.total < static_out.total);
 
     // The same nodes as hedged task workers.
-    let rates: Vec<RateProfile> = nodes
-        .iter()
-        .map(|n| n.cpu_rate_profile(HOUR))
-        .collect();
-    let blocking =
-        run_hedged(&rates, 32, 1e6, HedgeConfig { hedge_after: None }, SimTime::ZERO)
-            .expect("alive");
+    let rates: Vec<RateProfile> = nodes.iter().map(|n| n.cpu_rate_profile(HOUR)).collect();
+    let blocking = run_hedged(&rates, 32, 1e6, HedgeConfig { hedge_after: None }, SimTime::ZERO)
+        .expect("alive");
     let hedged = run_hedged(
         &rates,
         32,
@@ -175,8 +170,7 @@ fn sort_and_hedging_agree_on_the_straggler() {
 /// untouched.
 #[test]
 fn availability_gap_under_stutter() {
-    let slow = Injector::StaticSlowdown { factor: 0.25 }
-        .timeline(HOUR, &mut Stream::from_seed(13));
+    let slow = Injector::StaticSlowdown { factor: 0.25 }.timeline(HOUR, &mut Stream::from_seed(13));
     let mut pairs: Vec<MirrorPair> = (0..4).map(|_| MirrorPair::healthy(10e6)).collect();
     pairs[0] = MirrorPair::new(VDisk::new(10e6).with_profile(slow), VDisk::new(10e6));
     let array = Raid10::new(pairs, HOUR);
@@ -218,7 +212,8 @@ fn whole_stack_determinism() {
             })
             .collect();
         let array = Raid10::new(pairs, HOUR);
-        let out = array.write_adaptive(Workload::new(8_192, 65_536), SimTime::ZERO, 32).expect("alive");
+        let out =
+            array.write_adaptive(Workload::new(8_192, 65_536), SimTime::ZERO, 32).expect("alive");
         (out.elapsed, out.per_pair_blocks)
     };
     assert_eq!(run(), run());
@@ -299,12 +294,10 @@ fn smart_and_predictor_agree_then_wind_rescues() {
         VDisk::new(10e6).with_profile(profile.clone()),
         VDisk::new(10e6).with_profile(profile),
     );
-    let mut pairs = vec![MirrorPair::healthy(10e6), MirrorPair::healthy(10e6), MirrorPair::healthy(10e6)];
+    let mut pairs =
+        vec![MirrorPair::healthy(10e6), MirrorPair::healthy(10e6), MirrorPair::healthy(10e6)];
     pairs.insert(1, pair);
     let out = run_wind(&pairs, WindConfig::default(), Management::Managed { hot_spares: 1 });
     assert!(out.availability > 0.9, "{}", out.availability);
-    assert!(out
-        .events
-        .iter()
-        .any(|e| matches!(e, WindEvent::RebuildCompleted { pair: 1, .. })));
+    assert!(out.events.iter().any(|e| matches!(e, WindEvent::RebuildCompleted { pair: 1, .. })));
 }

@@ -1,0 +1,90 @@
+//! A minimal offline stand-in for the `criterion` benchmarking crate.
+//!
+//! External dev-dependencies cannot be fetched in offline environments, so
+//! this shim keeps `cargo bench` working with the same source code. It runs
+//! each benchmark a fixed number of warm-up and measurement iterations and
+//! prints mean wall-clock time per iteration — useful for coarse
+//! comparisons, not statistically rigorous measurement.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver handed to `criterion_group!` functions.
+pub struct Criterion {
+    measurement_iters: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { measurement_iters: 10 }
+    }
+}
+
+impl Criterion {
+    /// Runs `f` as a named benchmark and prints its mean iteration time.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { elapsed: Duration::ZERO, iters: 0 };
+        // Warm-up pass (not recorded).
+        f(&mut b);
+        b.elapsed = Duration::ZERO;
+        b.iters = 0;
+        for _ in 0..self.measurement_iters {
+            f(&mut b);
+        }
+        if b.iters > 0 {
+            let per_iter = b.elapsed / b.iters;
+            println!("{name:<40} {per_iter:>12.2?}/iter ({} iters)", b.iters);
+        } else {
+            println!("{name:<40} (no iterations recorded)");
+        }
+        self
+    }
+}
+
+/// Timer wrapper passed to the benchmark closure.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Times one execution of `routine`.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        let out = routine();
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+        black_box(out);
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+    ($group:ident; $($rest:tt)*) => {
+        $crate::criterion_group!($group, $($rest)*);
+    };
+}
+
+/// Declares the bench entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
