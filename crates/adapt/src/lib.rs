@@ -43,7 +43,9 @@ pub mod prelude {
     pub use crate::aimd::{fairness_index, share_bottleneck, Aimd};
     pub use crate::avail::{availability_of, AvailabilityMeter};
     pub use crate::hedge::{run_hedged, HedgeConfig, HedgeOutcome, TaskOutcome};
-    pub use crate::queue::{distribute, DistributeOutcome, QueueError, Strategy};
+    pub use crate::queue::{
+        distribute, distribute_weighted, DistributeOutcome, QueueError, Strategy,
+    };
     pub use crate::river::{run_decluster, DeclusterOutcome, DeclusterPolicy};
     pub use crate::txn::{run_transactions, Executor, Txn, TxnBatchOutcome, TxnOutcome};
 }

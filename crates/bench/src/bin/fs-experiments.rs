@@ -8,6 +8,7 @@
 //! fs-experiments --list         # list experiment ids and titles
 //! fs-experiments --markdown     # tables as Markdown
 //! fs-experiments --csv DIR      # additionally dump every table as CSV
+//! fs-experiments --json DIR     # additionally write BENCH_<slug>.json
 //! ```
 
 use fs_bench::experiments;
@@ -22,28 +23,42 @@ fn main() {
     }
     let markdown = args.iter().any(|a| a == "--markdown");
     args.retain(|a| a != "--markdown");
-    let csv_dir = args.iter().position(|a| a == "--csv").map(|i| {
-        let dir = args.get(i + 1).cloned().unwrap_or_else(|| {
-            eprintln!("--csv needs a directory argument");
-            std::process::exit(2);
-        });
-        args.drain(i..=i + 1);
-        dir
-    });
+    let mut dir_flag = |flag: &str| {
+        args.iter().position(|a| a == flag).map(|i| {
+            let dir = args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("{flag} needs a directory argument");
+                std::process::exit(2);
+            });
+            args.drain(i..=i + 1);
+            dir
+        })
+    };
+    let csv_dir = dir_flag("--csv");
+    let json_dir = dir_flag("--json");
 
-    if let Some(dir) = &csv_dir {
-        std::fs::create_dir_all(dir).expect("create csv output directory");
+    if csv_dir.is_some() || json_dir.is_some() {
         let ids: Vec<String> = if args.is_empty() {
             experiments::all().iter().map(|e| e.id.to_string()).collect()
         } else {
             args.clone()
         };
+        for dir in [&csv_dir, &json_dir].into_iter().flatten() {
+            std::fs::create_dir_all(dir).expect("create output directory");
+        }
         for id in &ids {
             let e = experiments::by_id(id).unwrap_or_else(|| panic!("unknown experiment id {id}"));
             let report = (e.run)();
-            for (i, t) in report.tables.iter().enumerate() {
-                let path = format!("{dir}/{}-{}.csv", e.id, i);
-                std::fs::write(&path, t.render_csv()).expect("write csv");
+            if let Some(dir) = &csv_dir {
+                for (i, t) in report.tables.iter().enumerate() {
+                    let path = format!("{dir}/{}-{}.csv", e.id, i);
+                    std::fs::write(&path, t.render_csv()).expect("write csv");
+                    eprintln!("wrote {path}");
+                }
+            }
+            if let Some(dir) = &json_dir {
+                let path = format!("{dir}/BENCH_{}.json", e.slug);
+                std::fs::write(&path, report.render_json(e.id, e.slug, e.title, e.source))
+                    .expect("write json");
                 eprintln!("wrote {path}");
             }
         }

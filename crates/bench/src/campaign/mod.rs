@@ -26,6 +26,7 @@ pub mod scenario;
 
 use std::fmt::Write as _;
 
+use crate::report::json_string;
 use digest::Fnv64;
 pub use scenario::{enumerate, run_scenario, Kind, Scenario, ScenarioResult};
 use scenario::{CheckResult, Metric};
@@ -180,24 +181,6 @@ impl CampaignReport {
     }
 }
 
-/// Appends `s` as a JSON string literal.
-fn json_string(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
 /// Enumerates, shards, checks, and digests one campaign.
 pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
     let scenarios = scenario::enumerate(cfg);
@@ -275,7 +258,7 @@ mod tests {
     fn tiny_campaign_is_violation_free() {
         let report = run_campaign(&tiny(7, 4));
         assert!(report.violations.is_empty(), "violations: {:#?}", report.violations);
-        assert_eq!(report.results.len(), 36); // 12 injectors × 3 kinds × 1 replicate
+        assert_eq!(report.results.len(), 48); // 12 injectors × 4 kinds × 1 replicate
     }
 
     #[test]

@@ -10,6 +10,8 @@ use super::digest::Fnv64;
 use super::CampaignConfig;
 use adapt::oracle as qoracle;
 use adapt::prelude::*;
+use perfplane::oracle as poracle;
+use perfplane::prelude::*;
 use raidsim::oracle as roracle;
 use raidsim::prelude::*;
 use simcore::prelude::*;
@@ -29,6 +31,10 @@ pub enum Kind {
     Queue,
     /// Duplicate-issue hedging (`adapt::hedge`).
     Hedge,
+    /// The gossiped performance-state plane driving a Scenario-3bis RAID
+    /// controller, with the injector applied to the plane's own carrier
+    /// links (`perfplane`).
+    Plane,
 }
 
 impl Kind {
@@ -38,12 +44,13 @@ impl Kind {
             Kind::Raid => "raid",
             Kind::Queue => "queue",
             Kind::Hedge => "hedge",
+            Kind::Plane => "plane",
         }
     }
 
     /// All kinds, in enumeration order.
-    pub fn all() -> [Kind; 3] {
-        [Kind::Raid, Kind::Queue, Kind::Hedge]
+    pub fn all() -> [Kind; 4] {
+        [Kind::Raid, Kind::Queue, Kind::Hedge, Kind::Plane]
     }
 }
 
@@ -263,6 +270,7 @@ pub fn run_scenario(sc: &Scenario, cfg: &CampaignConfig) -> ScenarioResult {
         Kind::Raid => run_raid(&profile, cfg, &mut metrics, &mut checks),
         Kind::Queue => run_queue(&profile, cfg, &mut metrics, &mut checks),
         Kind::Hedge => run_hedge(&profile, cfg, &mut metrics, &mut checks),
+        Kind::Plane => run_plane_cell(sc, cfg, &rng, &mut metrics, &mut checks),
     }
 
     ScenarioResult::new(sc.id, label, metrics, checks)
@@ -609,4 +617,147 @@ fn run_hedge(
         hedged.work_spent >= spent_floor * (1.0 - 1e-9),
         format!("spent {:.6e}s, floor {:.6e}s", hedged.work_spent, spent_floor),
     );
+}
+
+fn chk_plane(checks: &mut Vec<CheckResult>, name: &'static str, violations: &[poracle::Violation]) {
+    let detail = violations.iter().map(|v| v.detail.clone()).collect::<Vec<_>>().join("; ");
+    chk_bool(checks, name, violations.is_empty(), detail);
+}
+
+/// The plane cell: a gossiped performance-state plane whose *carrier links*
+/// run under the scenario's injector, driving a Scenario-3bis RAID
+/// controller from the staleness views it produces.
+///
+/// Pair 0 drifts to a seed-derived multiplier (settling at 180 s, so faults
+/// are quiescent long before the horizon); every directed gossip link gets
+/// its own independently-derived injector timeline. A consumer at the last
+/// node then writes through [`Raid10::write_estimated`] planning purely
+/// from its view, bracketed by the omniscient scenario-3 controller above
+/// and the blind scenario-1 controller below, plus a degraded twin of the
+/// whole plane for the metamorphic carrier check.
+fn run_plane_cell(
+    sc: &Scenario,
+    cfg: &CampaignConfig,
+    rng: &Stream,
+    metrics: &mut Vec<(&'static str, Metric)>,
+    checks: &mut Vec<CheckResult>,
+) {
+    let n = cfg.pairs;
+    let nominal = cfg.nominal;
+    let plane_cfg = PlaneConfig::default();
+    let plane_horizon = plane_cfg.horizon;
+
+    // Pair 0 drifts through two seed-derived steps and settles at 180 s.
+    let mut drift_rng = rng.derive("drift");
+    let drift = SlowdownProfile::from_breakpoints(vec![
+        (SimTime::ZERO, 1.0),
+        (SimTime::from_secs(60), drift_rng.next_f64_range(0.25, 1.0)),
+        (SimTime::from_secs(120), drift_rng.next_f64_range(0.25, 1.0)),
+        (SimTime::from_secs(180), drift_rng.next_f64_range(0.25, 1.0)),
+    ]);
+
+    let mut spec = PlaneSpec::homogeneous(plane_cfg, n, nominal);
+    spec.components[0].profile = drift.clone();
+    // The injector attacks the plane's own carrier: every directed link
+    // gets an independent timeline from the scenario's seed tree.
+    let link_rng = rng.derive("links");
+    for from in 0..n {
+        for to in 0..n {
+            if from == to {
+                continue;
+            }
+            let mut r = link_rng.derive_index((from * n + to) as u64);
+            spec.set_link_profile(from, to, sc.injector.timeline(plane_horizon, &mut r));
+        }
+    }
+
+    let fresh = perfplane::gossip::run_plane(&spec, &mut rng.derive("plane"));
+    let degraded_spec = spec.degraded(0.5);
+    let degraded = perfplane::gossip::run_plane(&degraded_spec, &mut rng.derive("plane"));
+
+    metrics.push(("plane_pushes", Metric::U64(fresh.stats.pushes_sent)));
+    metrics.push(("plane_merges", Metric::U64(fresh.stats.merges)));
+    metrics.push(("plane_tombstones", Metric::U64(fresh.stats.tombstones)));
+    metrics.push(("plane_carrier_bytes", Metric::U64(fresh.stats.carrier_bytes)));
+
+    // The consumer: node n−1 writes through the array planning only from
+    // its gossiped view, long after the drift settled.
+    let write_at = SimTime::ZERO + SimDuration::from_secs(300);
+    let mut pairs: Vec<MirrorPair> = (0..n).map(|_| MirrorPair::healthy(nominal)).collect();
+    pairs[0] = MirrorPair::new(VDisk::new(nominal).with_profile(drift), VDisk::new(nominal));
+    let array = Raid10::new(pairs, cfg.horizon);
+    let w = Workload::new(cfg.blocks, cfg.block_bytes);
+
+    let consumer = &fresh.views[n - 1];
+    let mut est =
+        |i: usize, at: SimTime| consumer.estimated_rate(ComponentId(i as u32), at, nominal);
+    let planned = array.write_estimated(w, write_at, cfg.chunk_blocks, &mut est);
+    let degraded_consumer = &degraded.views[n - 1];
+    let mut est_deg = |i: usize, at: SimTime| {
+        degraded_consumer.estimated_rate(ComponentId(i as u32), at, nominal)
+    };
+    let planned_degraded = array.write_estimated(w, write_at, cfg.chunk_blocks, &mut est_deg);
+    let omniscient = array.write_adaptive(w, write_at, cfg.chunk_blocks);
+    let blind = array.write_static(w, write_at);
+
+    let (Ok(planned), Ok(planned_degraded), Ok(omniscient), Ok(blind)) =
+        (planned, planned_degraded, omniscient, blind)
+    else {
+        chk_bool(
+            checks,
+            "plane/consumer-completes",
+            false,
+            "a controller failed although no pair died".to_string(),
+        );
+        return;
+    };
+    chk_bool(checks, "plane/consumer-completes", true, String::new());
+
+    metrics.push(("planned_throughput", Metric::F64(planned.throughput)));
+    metrics.push(("planned_degraded_throughput", Metric::F64(planned_degraded.throughput)));
+    metrics.push(("omniscient_throughput", Metric::F64(omniscient.throughput)));
+    metrics.push(("static_throughput", Metric::F64(blind.throughput)));
+
+    chk_raid(checks, "raid/conservation", roracle::check_conservation(&planned, w));
+    chk_raid(checks, "raid/block-map", roracle::check_block_map_partition(&planned, w));
+
+    // Estimates cannot beat the truth: the planned write never exceeds the
+    // omniscient scenario-3 controller (tiny slack for tie-breaks).
+    chk_bool(
+        checks,
+        "plane/not-above-omniscient",
+        planned.throughput <= omniscient.throughput * 1.02,
+        format!(
+            "planned {:.6e} B/s above omniscient {:.6e} B/s",
+            planned.throughput, omniscient.throughput
+        ),
+    );
+    // With a healthy carrier the plane recovers ≥90% of omniscient: the
+    // acceptance bar for scenario 3bis.
+    if sc.injector_label == "no-fault" {
+        chk_bool(
+            checks,
+            "plane/fresh-competitive",
+            planned.throughput >= 0.9 * omniscient.throughput,
+            format!(
+                "planned {:.6e} B/s under 90% of omniscient {:.6e} B/s",
+                planned.throughput, omniscient.throughput
+            ),
+        );
+    }
+    // Metamorphic: slowing the plane's carrier never improves the consumer.
+    chk_plane(
+        checks,
+        "plane/degraded-never-helps",
+        &poracle::check_plane_degraded(planned.throughput, planned_degraded.throughput, 0.05),
+    );
+
+    // Gossip oracles. Convergence is only promised when no carrier link is
+    // permanently dead within the horizon.
+    if let Some(slack) = poracle::link_slack(&spec.link_profiles, plane_horizon) {
+        let allowance = poracle::convergence_allowance(&fresh, slack);
+        chk_plane(checks, "plane/convergence", &poracle::check_convergence(&fresh, allowance));
+    }
+    chk_plane(checks, "plane/no-false-fail-stop", &poracle::check_no_false_failstop(&fresh));
+    chk_plane(checks, "plane/monotone-staleness", &poracle::check_monotone(&fresh));
 }

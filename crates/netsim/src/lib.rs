@@ -4,6 +4,8 @@
 //! §2.1.3 of *"Fail-Stutter Fault Tolerance"*:
 //!
 //! * [`link`] — serialising links carrying fail-stutter timelines.
+//! * [`mesh`] — a full mesh of directed links (the carrier a control
+//!   plane gossips over).
 //! * [`switch`] — an output-queued switch whose arbitration can be unfair
 //!   under load (the Myrinet route-preference observation).
 //! * [`wormhole`] — wormhole routing with a deadlock watchdog whose
@@ -31,6 +33,7 @@
 
 pub mod adaptive_transfer;
 pub mod link;
+pub mod mesh;
 pub mod multicast;
 pub mod switch;
 pub mod transpose;
@@ -42,6 +45,7 @@ pub mod prelude {
         run_adaptive_transfer, PortArbitration, TransferConfig, TransferOutcome,
     };
     pub use crate::link::{Delivery, Link};
+    pub use crate::mesh::Mesh;
     pub use crate::multicast::{run_multicast, McastConfig, McastOutcome, McastProtocol, Member};
     pub use crate::switch::{Arbitration, Forwarded, Packet, Switch};
     pub use crate::transpose::{

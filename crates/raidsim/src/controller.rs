@@ -264,6 +264,93 @@ impl Raid10 {
         self.run_adaptive_over(w, start, chunk_blocks, &profiles)
     }
 
+    /// Scenario 3bis: adaptive chunked striping steered by an external
+    /// rate estimator instead of omniscient profiles.
+    ///
+    /// This is the distributed variant of scenario 3: the controller does
+    /// not gauge the pairs itself — it plans with whatever a
+    /// performance-state plane (or any other estimator) believes each
+    /// pair's current write rate is. `estimate(pair, at)` returns the
+    /// believed rate in bytes/second at decision time `at`; non-positive
+    /// or non-finite estimates mark the pair unusable for that chunk.
+    /// The planner schedules on **believed** completion times only: each
+    /// pair's queue clock advances by `bytes / estimate`, never by the
+    /// true service time it cannot observe. Actual completions still come
+    /// from the pairs' *true* profiles, so a stale or wrong estimate
+    /// mis-apportions real work — with a useless (uniform) estimator the
+    /// plan degenerates to equal striping and the paper's `N·b`, and with
+    /// a perfect one it recovers scenario 3. That gap is exactly what the
+    /// plane's staleness oracles quantify. One hard signal bypasses the
+    /// beliefs: a write to an absolutely failed pair errors out, so the
+    /// pair is retired and its chunk re-queued (the write only fails if
+    /// every pair is dead). When the estimator believes in *nobody*, the
+    /// planner falls back to ack-clocking: it rotates chunks through the
+    /// least-loaded live pair, advancing that pair's clock by the acked
+    /// true service time.
+    pub fn write_estimated(
+        &self,
+        w: Workload,
+        start: SimTime,
+        chunk_blocks: u64,
+        estimate: &mut dyn FnMut(usize, SimTime) -> f64,
+    ) -> Result<WriteOutcome, RaidError> {
+        assert!(chunk_blocks > 0, "chunk size must be positive");
+        let profiles: Vec<_> =
+            self.pairs.iter().map(|p| p.write_rate_profile(self.horizon)).collect();
+        // Believed busy-time per pair (seconds past `start`) vs the true
+        // availability the planner never sees.
+        let mut believed = vec![0.0f64; self.n()];
+        let mut true_avail = vec![start; self.n()];
+        let mut dead = vec![false; self.n()];
+        let mut next_block = 0u64;
+        let mut per_pair_blocks = vec![0u64; self.n()];
+        let mut map: Vec<MapEntry> = Vec::new();
+        let mut finish = start;
+
+        while next_block < w.blocks {
+            let chunk_len = chunk_blocks.min(w.blocks - next_block);
+            let bytes = (chunk_len * w.block_bytes) as f64;
+            let mut best: Option<(f64, usize)> = None;
+            let mut fallback: Option<(f64, usize)> = None;
+            for i in 0..self.n() {
+                if dead[i] {
+                    continue;
+                }
+                if fallback.is_none_or(|(b, _)| believed[i] < b) {
+                    fallback = Some((believed[i], i));
+                }
+                let at = start + SimDuration::from_secs_f64(believed[i]);
+                let est = estimate(i, at);
+                if est > 0.0 && est.is_finite() {
+                    let done = believed[i] + bytes / est;
+                    if best.is_none_or(|(b, _)| done < b) {
+                        best = Some((done, i));
+                    }
+                }
+            }
+            let (chosen, believed_dt) = match (best, fallback) {
+                (Some((done, i)), _) => (i, done - believed[i]),
+                (None, Some((_, i))) => (i, f64::NAN), // ack-clocked below
+                (None, None) => return Err(RaidError::NoUsablePairs),
+            };
+            let i = chosen;
+            match profiles[i].time_to_transfer(true_avail[i], bytes) {
+                Some(dt) => {
+                    true_avail[i] += dt;
+                    finish = finish.max(true_avail[i]);
+                    believed[i] +=
+                        if believed_dt.is_finite() { believed_dt } else { dt.as_secs_f64() };
+                    per_pair_blocks[i] += chunk_len;
+                    map.push(MapEntry { start: next_block, len: chunk_len, pair: i });
+                    next_block += chunk_len;
+                }
+                None => dead[i] = true, // write error: retire, re-queue the chunk
+            }
+        }
+        map.sort_by_key(|e| e.start);
+        Ok(self.outcome(w, finish - start, per_pair_blocks, Some(map)))
+    }
+
     fn run_adaptive_over(
         &self,
         w: Workload,
@@ -503,6 +590,64 @@ mod tests {
         let out = array.read_static(Workload::new(1_024, 65_536), SimTime::ZERO).expect("alive");
         // Pair 0 at 10, pair 1 at 20: static tracks pair 0 → 2*10.
         assert!((out.throughput / (20.0 * MB) - 1.0).abs() < 0.01, "{}", out.throughput);
+    }
+
+    #[test]
+    fn estimated_with_perfect_estimates_matches_adaptive() {
+        let array = array_with_slow_pair(4, 0.5);
+        let w = workload();
+        let s3 = array.write_adaptive(w, SimTime::ZERO, 64).expect("alive");
+        let mut oracle = |i: usize, at: SimTime| array.pairs()[i].write_rate_at(at);
+        let bis = array.write_estimated(w, SimTime::ZERO, 64, &mut oracle).expect("alive");
+        assert!(
+            bis.throughput > 0.97 * s3.throughput,
+            "perfect estimates should match scenario 3: {} vs {}",
+            bis.throughput,
+            s3.throughput
+        );
+        assert_eq!(bis.per_pair_blocks.iter().sum::<u64>(), w.blocks);
+    }
+
+    #[test]
+    fn estimated_with_blind_estimates_collapses_to_static() {
+        // A uniform (wrong) belief degenerates toward scenario 1's N·b.
+        let array = array_with_slow_pair(4, 0.5);
+        let w = workload();
+        let s1 = array.write_static(w, SimTime::ZERO).expect("alive");
+        let mut blind = |_: usize, _: SimTime| 10.0 * MB;
+        let out = array.write_estimated(w, SimTime::ZERO, 64, &mut blind).expect("alive");
+        assert!(
+            (out.throughput / s1.throughput - 1.0).abs() < 0.05,
+            "blind estimates ≈ static: {} vs {}",
+            out.throughput,
+            s1.throughput
+        );
+    }
+
+    #[test]
+    fn estimated_survives_true_failure_despite_rosy_estimates() {
+        let dead_a = SlowdownProfile::nominal().with_failure_at(SimTime::from_secs(5));
+        let dead_b = SlowdownProfile::nominal().with_failure_at(SimTime::from_secs(6));
+        let mut pairs: Vec<MirrorPair> = (0..4).map(|_| MirrorPair::healthy(10.0 * MB)).collect();
+        pairs[1] = MirrorPair::new(
+            VDisk::new(10.0 * MB).with_profile(dead_a),
+            VDisk::new(10.0 * MB).with_profile(dead_b),
+        );
+        let array = Raid10::new(pairs, HOUR);
+        // The estimator never learns about the death; the controller must
+        // still route the re-queued chunks to survivors.
+        let mut rosy = |_: usize, _: SimTime| 10.0 * MB;
+        let out = array.write_estimated(workload(), SimTime::ZERO, 64, &mut rosy).expect("alive");
+        assert_eq!(out.per_pair_blocks.iter().sum::<u64>(), workload().blocks);
+    }
+
+    #[test]
+    fn estimated_falls_back_when_no_pair_is_believed_in() {
+        let array = array_with_slow_pair(2, 0.5);
+        let mut nihilist = |_: usize, _: SimTime| 0.0;
+        let w = Workload::new(64, 65_536);
+        let out = array.write_estimated(w, SimTime::ZERO, 16, &mut nihilist).expect("alive");
+        assert_eq!(out.per_pair_blocks.iter().sum::<u64>(), w.blocks);
     }
 
     #[test]

@@ -234,6 +234,56 @@ mod tests {
     }
 
     #[test]
+    fn peer_relative_empty_round_is_empty() {
+        let d = PeerRelativeDetector::new(0.8);
+        assert!(d.classify_round(&[]).is_empty());
+    }
+
+    #[test]
+    fn peer_relative_all_equal_rates_are_healthy() {
+        let d = PeerRelativeDetector::new(1.0);
+        // Even at the tightest fraction, equal peers are all healthy: the
+        // faulty test is strict (`r < fraction · median`).
+        for n in [3usize, 4, 9] {
+            let states = d.classify_round(&vec![7.5; n]);
+            assert_eq!(states.len(), n);
+            assert!(states.iter().all(|s| matches!(s, HealthState::Healthy)), "n={n}");
+        }
+    }
+
+    #[test]
+    fn peer_relative_single_peer_never_faulty() {
+        let d = PeerRelativeDetector::new(0.8);
+        // One live component has no peers to be judged against: healthy
+        // however slow, failed only at zero.
+        assert_eq!(d.classify_round(&[0.001]), vec![HealthState::Healthy]);
+        assert_eq!(d.classify_round(&[0.0]), vec![HealthState::Failed]);
+    }
+
+    #[test]
+    fn peer_relative_dead_peers_do_not_skew_the_median() {
+        let d = PeerRelativeDetector::new(0.8);
+        // Three dead components must not drag the median to zero and mask
+        // the live straggler.
+        let states = d.classify_round(&[10.0, 10.0, 10.0, 5.0, 0.0, 0.0, 0.0]);
+        assert!(matches!(states[3], HealthState::PerfFaulty { .. }), "{states:?}");
+        assert!(states[4..].iter().all(|s| matches!(s, HealthState::Failed)));
+    }
+
+    #[test]
+    fn peer_relative_verdicts_are_nan_free_and_severities_bounded() {
+        let d = PeerRelativeDetector::new(0.8);
+        // Extreme but finite inputs: tiny, huge, and zero rates mixed.
+        let rates = [f64::MIN_POSITIVE, 1e300, 10.0, 10.0, 10.0, 0.0, 1e-12];
+        for s in d.classify_round(&rates) {
+            if let HealthState::PerfFaulty { severity } = s {
+                assert!(severity.is_finite());
+                assert!((f64::MIN_POSITIVE..1.0).contains(&severity), "severity {severity}");
+            }
+        }
+    }
+
+    #[test]
     fn peer_relative_median_robust_to_one_outlier() {
         let d = PeerRelativeDetector::new(0.5);
         // One absurdly fast peer must not drag everyone into faultiness.

@@ -75,6 +75,23 @@ impl Registry {
             candidate_since: now,
         });
 
+        // A standing candidate that differs from the exported state and has
+        // already outlived the persistence window is published the moment a
+        // report of yet another class ends it — not silently discarded.
+        // With sparse reporting a recovery to Ok could otherwise hold for
+        // hours and never export: faulty verdicts before and after it would
+        // fold the exported state straight back to faulty.
+        let mut deferred = None;
+        if !Self::same_class(entry.candidate, entry.exported)
+            && !Self::same_class(verdict, entry.candidate)
+            && now - entry.candidate_since >= self.persistence
+        {
+            entry.exported = entry.candidate;
+            let n = Notification { component, at: now, state: entry.exported };
+            self.log.push(n);
+            deferred = Some(n);
+        }
+
         if !Self::same_class(verdict, entry.candidate) {
             entry.candidate = verdict;
             entry.candidate_since = now;
@@ -86,7 +103,7 @@ impl Registry {
         if Self::same_class(entry.exported, entry.candidate) {
             // Refresh exported severity silently; no notification.
             entry.exported = entry.candidate;
-            return None;
+            return deferred;
         }
 
         let held = now - entry.candidate_since;
@@ -98,7 +115,7 @@ impl Registry {
             Some(n)
         } else {
             self.suppressed += 1;
-            None
+            deferred
         }
     }
 
@@ -204,6 +221,53 @@ mod tests {
         r.report(C, SimTime::from_secs(9), perf(0.5));
         assert_eq!(r.report(C, SimTime::from_secs(17), perf(0.5)), None);
         assert!(r.report(C, SimTime::from_secs(19), perf(0.5)).is_some());
+    }
+
+    #[test]
+    fn sparse_reports_still_publish_both_edges() {
+        // Fault confirmed, then a recovery witnessed by a *single* report
+        // that holds far past the window before the next faulty verdict:
+        // the recovery must still export, as a pair of notifications.
+        let mut r = registry();
+        r.report(C, SimTime::from_secs(0), perf(0.5));
+        assert!(r.report(C, SimTime::from_secs(10), perf(0.5)).is_some());
+        assert_eq!(r.report(C, SimTime::from_secs(11), HealthState::Healthy), None);
+        // 89 healthy seconds later the fault returns. Before the fix this
+        // silently folded exported straight back to PerfFaulty and the
+        // recovery interval was never published.
+        let n = r.report(C, SimTime::from_secs(100), perf(0.5));
+        assert_eq!(
+            n,
+            Some(Notification {
+                component: C,
+                at: SimTime::from_secs(100),
+                state: HealthState::Healthy
+            }),
+            "the out-lived recovery candidate must publish"
+        );
+        assert_eq!(r.exported(C), HealthState::Healthy, "new fault not yet persistent");
+        // And the returning fault publishes once it persists in turn.
+        assert!(r.report(C, SimTime::from_secs(110), perf(0.5)).is_some());
+        let classes: Vec<_> = r.notifications().iter().map(|n| n.state.badness()).collect();
+        assert_eq!(classes.len(), 3, "fault, recovery, fault again: {classes:?}");
+    }
+
+    #[test]
+    fn deferred_recovery_with_failed_verdict_logs_both() {
+        let mut r = registry();
+        r.report(C, SimTime::from_secs(0), perf(0.5));
+        r.report(C, SimTime::from_secs(10), perf(0.5));
+        r.report(C, SimTime::from_secs(11), HealthState::Healthy);
+        // The component dies outright after a long silent recovery: the
+        // failure returns (it bypasses persistence) and the recovery edge
+        // is still logged before it.
+        let n = r.report(C, SimTime::from_secs(60), HealthState::Failed);
+        assert_eq!(n.map(|n| n.state), Some(HealthState::Failed));
+        let states: Vec<_> = r.notifications().iter().map(|n| n.state).collect();
+        assert!(
+            matches!(states[states.len() - 2], HealthState::Healthy),
+            "recovery logged before the failure: {states:?}"
+        );
     }
 
     #[test]

@@ -105,6 +105,70 @@ proptest! {
         prop_assert!(reg.suppressed() > 0);
     }
 
+    /// A persistent fault followed by a persistent recovery always exports
+    /// as a publish/retract *pair*: first the fault, then Ok — regardless
+    /// of the sampling cadence on each side of the edge.
+    #[test]
+    fn fault_then_recovery_publishes_a_pair(
+        persistence_s in 1u64..60,
+        fault_gap_s in 1u64..30,
+        recovery_gap_s in 1u64..30,
+        slack_s in 0u64..50,
+    ) {
+        let persistence = SimDuration::from_secs(persistence_s);
+        let mut reg = Registry::new(persistence);
+        let faulty = HealthState::PerfFaulty { severity: 0.5 };
+        // Fault phase: sparse reports every `fault_gap_s` until well past
+        // the window; recovery phase likewise.
+        let fault_end = persistence_s + slack_s + fault_gap_s;
+        let mut now = 0;
+        while now <= fault_end {
+            reg.report(C, SimTime::from_secs(now), faulty);
+            now += fault_gap_s;
+        }
+        let recovery_end = now + persistence_s + slack_s + recovery_gap_s;
+        while now <= recovery_end {
+            reg.report(C, SimTime::from_secs(now), HealthState::Healthy);
+            now += recovery_gap_s;
+        }
+        // One more faulty verdict long after: even if no healthy report
+        // landed past the window, the deferred rule must have retracted.
+        reg.report(C, SimTime::from_secs(now + 1), faulty);
+
+        let classes: Vec<u8> =
+            reg.notifications().iter().map(|n| n.state.badness()).collect();
+        prop_assert!(classes.len() >= 2, "expected publish + retract, got {classes:?}");
+        prop_assert_eq!(classes[0], faulty.badness());
+        prop_assert_eq!(classes[1], HealthState::Healthy.badness());
+    }
+
+    /// Notification classes always alternate: a publish is never followed
+    /// by another publish of the same class without a retract in between.
+    #[test]
+    fn notification_classes_always_alternate(
+        verdicts in proptest::collection::vec((0u8..2, 1u64..40), 1..64),
+        persistence_s in 0u64..30,
+    ) {
+        let mut reg = Registry::new(SimDuration::from_secs(persistence_s));
+        let mut now = 0u64;
+        for &(class, hold_s) in &verdicts {
+            let v = if class == 0 {
+                HealthState::Healthy
+            } else {
+                HealthState::PerfFaulty { severity: 0.4 }
+            };
+            reg.report(C, SimTime::from_secs(now), v);
+            now += hold_s;
+        }
+        for pair in reg.notifications().windows(2) {
+            prop_assert_ne!(
+                pair[0].state.badness(),
+                pair[1].state.badness(),
+                "adjacent notifications with the same class"
+            );
+        }
+    }
+
     /// Hysteresis: on constant-rate input the pipeline publishes at most
     /// one notification — the exported state never oscillates.
     #[test]

@@ -21,6 +21,7 @@
 //! | [`raidsim`] | the paper's §3.2 RAID-10 example: three controller designs |
 //! | [`adapt`] | adaptive mechanisms: AIMD, distributed queues, hedging, availability |
 //! | [`cluster`] | parallel workloads: NOW-Sort-style sort, replicated hash table |
+//! | [`perfplane`] | cluster-wide performance-state plane: gossip, staleness-aware views, consumers |
 //!
 //! # Quickstart
 //!
@@ -50,6 +51,7 @@ pub use blockdev;
 pub use cluster;
 pub use cpusim;
 pub use netsim;
+pub use perfplane;
 pub use raidsim;
 pub use simcore;
 pub use stutter;
