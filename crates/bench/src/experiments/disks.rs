@@ -9,7 +9,7 @@ use crate::report::{mbs, pct, ratio, Finding, Report, Table};
 const MB: u64 = 1 << 20;
 
 fn hawk(seed: u64) -> Disk {
-    Disk::new(Geometry::hawk_5400(), Stream::from_seed(seed).derive("disk"))
+    Disk::new(Geometry::hawk_5400(), Stream::from_seed(seed).derive("disks-exp.disk"))
 }
 
 /// E04 — bad-block remapping: the 5.0-vs-5.5 MB/s Hawk.
@@ -58,7 +58,7 @@ pub fn e05_scsi_errors() -> Report {
         disks,
         ErrorProcess::default(),
         SimDuration::from_secs(days * 86_400),
-        &mut rng.derive("errors"),
+        &mut rng.derive("disks-exp.errors"),
     );
     let census = chain.full_horizon_census();
     let mut table = Table::new(
@@ -234,14 +234,14 @@ pub fn e13_fs_aging() -> Report {
         &["layout", "extents", "bandwidth"],
     );
 
-    let mut fresh_fs = FileSystem::new(400_000, Stream::from_seed(23).derive("fs"));
-    let mut fresh_disk = Disk::new(g.clone(), Stream::from_seed(23).derive("d"));
+    let mut fresh_fs = FileSystem::new(400_000, Stream::from_seed(23).derive("disks-exp.fs"));
+    let mut fresh_disk = Disk::new(g.clone(), Stream::from_seed(23).derive("disks-exp.d"));
     let ff = fresh_fs.create_file(60_000).expect("space");
     let (bw_fresh, _) = fresh_fs.read_file(&mut fresh_disk, ff, SimTime::ZERO).expect("ok");
     table.row(vec!["fresh".into(), fresh_fs.file(ff).extent_count().to_string(), mbs(bw_fresh)]);
 
-    let mut aged_fs = FileSystem::new(400_000, Stream::from_seed(23).derive("fs"));
-    let mut aged_disk = Disk::new(g, Stream::from_seed(23).derive("d"));
+    let mut aged_fs = FileSystem::new(400_000, Stream::from_seed(23).derive("disks-exp.fs"));
+    let mut aged_disk = Disk::new(g, Stream::from_seed(23).derive("disks-exp.d"));
     aged_fs.age(300);
     let af = aged_fs.create_file(60_000).expect("space");
     let (bw_aged, _) = aged_fs.read_file(&mut aged_disk, af, SimTime::ZERO).expect("ok");

@@ -177,11 +177,13 @@ pub fn e31_raid_on_metal() -> Report {
         let pairs: Vec<MechPair> = (0..4)
             .map(|i| {
                 let root = Stream::from_seed(i);
-                let mut a = Disk::new(Geometry::barracuda_7200(), root.derive("a"));
-                let b = Disk::new(Geometry::barracuda_7200(), root.derive("b"));
+                let mut a = Disk::new(Geometry::barracuda_7200(), root.derive("raid-exp.a"));
+                let b = Disk::new(Geometry::barracuda_7200(), root.derive("raid-exp.b"));
                 if i == 0 {
-                    let p = Injector::StaticSlowdown { factor: 0.5 }
-                        .timeline(SimDuration::from_secs(100_000), &mut root.derive("inj"));
+                    let p = Injector::StaticSlowdown { factor: 0.5 }.timeline(
+                        SimDuration::from_secs(100_000),
+                        &mut root.derive("raid-exp.inj"),
+                    );
                     a = a.with_profile(p);
                 }
                 MechPair::new(a, b)

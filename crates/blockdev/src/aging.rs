@@ -254,8 +254,8 @@ mod tests {
         let g = Geometry::hawk_5400();
         // A 200 MB partition keeps aging fast while leaving the disk's
         // full seek range in play.
-        let fs = FileSystem::new(400_000, Stream::from_seed(seed).derive("fs"));
-        let disk = Disk::new(g, Stream::from_seed(seed).derive("disk"));
+        let fs = FileSystem::new(400_000, Stream::from_seed(seed).derive("aging.fs"));
+        let disk = Disk::new(g, Stream::from_seed(seed).derive("aging.disk"));
         (fs, disk)
     }
 

@@ -227,7 +227,7 @@ mod tests {
     use stutter::injector::{DurationDist, Injector};
 
     fn disk() -> Disk {
-        Disk::new(Geometry::hawk_5400(), Stream::from_seed(7).derive("disk"))
+        Disk::new(Geometry::hawk_5400(), Stream::from_seed(7).derive("disk-unit.disk"))
     }
 
     const MB: u64 = 1 << 20;

@@ -264,7 +264,7 @@ mod tests {
             disks,
             ErrorProcess::default(),
             SimDuration::from_secs(horizon_days * 86_400),
-            &mut rng.derive("errors"),
+            &mut rng.derive("scsi-unit.errors"),
         )
     }
 

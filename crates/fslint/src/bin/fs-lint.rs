@@ -1,0 +1,93 @@
+//! `fs-lint` — the tier-0 determinism gate (see the `fslint` crate docs).
+//!
+//! ```text
+//! fs-lint [--root DIR] [--json] [--out FILE] [--allow RULE]... [--list-rules] [FILE...]
+//! ```
+//!
+//! With no `FILE` arguments the whole workspace under `--root` (default:
+//! the current directory) is scanned. `--out` always writes the JSON
+//! report to the given file (for CI artifacts) in addition to the chosen
+//! stdout format. Exit status: 0 clean, 1 findings, 2 usage error.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use fslint::{engine, Config};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut out_file: Option<PathBuf> = None;
+    let mut cfg = Config::default();
+    let mut files: Vec<PathBuf> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                let Some(v) = args.next() else { return usage("--root needs a value") };
+                root = PathBuf::from(v);
+            }
+            "--json" => json = true,
+            "--out" => {
+                let Some(v) = args.next() else { return usage("--out needs a value") };
+                out_file = Some(PathBuf::from(v));
+            }
+            "--allow" => {
+                let Some(v) = args.next() else { return usage("--allow needs a rule id") };
+                if !fslint::rules::is_known_rule(&v) {
+                    return usage(&format!("unknown rule `{v}` (try --list-rules)"));
+                }
+                cfg.allow.insert(v);
+            }
+            "--list-rules" => {
+                for r in fslint::RULES {
+                    println!("{:<26} {}", r.id, r.summary);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "-h" | "--help" => {
+                println!(
+                    "fs-lint: workspace determinism auditor\n\n\
+                     usage: fs-lint [--root DIR] [--json] [--out FILE] [--allow RULE]... \
+                     [--list-rules] [FILE...]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            _ if arg.starts_with('-') => return usage(&format!("unknown flag `{arg}`")),
+            _ => files.push(PathBuf::from(arg)),
+        }
+    }
+
+    let report = if files.is_empty() {
+        engine::lint_workspace(&root, &cfg)
+    } else {
+        engine::lint_paths(&root, &files, &cfg)
+    };
+
+    if let Some(path) = out_file {
+        if let Err(e) = std::fs::write(&path, engine::render_json(&report)) {
+            eprintln!("fs-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if json {
+        print!("{}", engine::render_json(&report));
+    } else {
+        print!("{}", engine::render_text(&report));
+    }
+
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("fs-lint: {msg}");
+    eprintln!("usage: fs-lint [--root DIR] [--json] [--out FILE] [--allow RULE]... [FILE...]");
+    ExitCode::from(2)
+}

@@ -1,0 +1,198 @@
+//! File discovery, orchestration, and report formatting.
+//!
+//! The engine walks `crates/`, `src/`, `tests/`, and `examples/` under the
+//! workspace root (skipping `vendor/`, build `target/`s, and lint-test
+//! `fixtures/` trees), lexes every `.rs` file, runs the single-file rules,
+//! pools `derive("…")` label sites for the cross-file uniqueness rule, and
+//! applies inline suppressions. Output is deterministic: files are visited
+//! in sorted order and findings are sorted by (path, line, rule).
+
+use crate::lexer;
+use crate::rules::{self, FileCtx, Finding, LabelSite};
+use crate::suppress;
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["vendor", "target", "fixtures", ".git"];
+
+/// Top-level entry points of the scan, relative to the root.
+const SCAN_ROOTS: &[&str] = &["crates", "src", "tests", "examples"];
+
+/// Engine configuration.
+#[derive(Debug, Default, Clone)]
+pub struct Config {
+    /// Rule ids disabled wholesale (from `--allow`).
+    pub allow: BTreeSet<String>,
+}
+
+/// A completed lint run.
+#[derive(Debug)]
+pub struct Report {
+    /// Unsuppressed findings, sorted by (path, line, rule).
+    pub findings: Vec<Finding>,
+    /// Number of files lexed and checked.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// True when the run found nothing.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Collects every `.rs` file under the scan roots, sorted.
+pub fn collect_workspace_files(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    for sub in SCAN_ROOTS {
+        walk(&root.join(sub), &mut files);
+    }
+    files.sort();
+    files
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if !SKIP_DIRS.contains(&name.as_ref()) {
+                walk(&path, out);
+            }
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Lints the whole workspace under `root`.
+pub fn lint_workspace(root: &Path, cfg: &Config) -> Report {
+    lint_paths(root, &collect_workspace_files(root), cfg)
+}
+
+/// Lints exactly `files` (cross-file rules run across this set), reporting
+/// paths relative to `root` where possible.
+pub fn lint_paths(root: &Path, files: &[PathBuf], cfg: &Config) -> Report {
+    let mut findings = Vec::new();
+    let mut sites: Vec<LabelSite> = Vec::new();
+    let mut per_file: Vec<(String, suppress::Scan, Vec<Finding>)> = Vec::new();
+
+    for file in files {
+        let rel = file.strip_prefix(root).unwrap_or(file);
+        let path = rel.to_string_lossy().replace('\\', "/");
+        let source = match fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                findings.push(Finding {
+                    path,
+                    line: 0,
+                    rule: rules::id::MALFORMED_SUPPRESSION,
+                    message: format!("could not read file: {e}"),
+                });
+                continue;
+            }
+        };
+        let ctx = FileCtx { path: path.clone(), lexed: lexer::lex(&source) };
+        let mut file_findings = Vec::new();
+        rules::check_file(&ctx, &mut file_findings);
+        sites.extend(rules::label_sites(&ctx));
+        per_file.push((path, suppress::scan(&ctx.lexed.comments), file_findings));
+    }
+
+    // The cross-file rule pools label sites from every scanned file, then
+    // routes each finding back through its own file's suppressions.
+    let mut label_findings = Vec::new();
+    rules::check_unique_stream_labels(&sites, &mut label_findings);
+    for (path, scan, file_findings) in &mut per_file {
+        let mine: Vec<Finding> =
+            label_findings.iter().filter(|f| f.path == *path).cloned().collect();
+        file_findings.extend(mine);
+        let kept = suppress::apply(path, scan, std::mem::take(file_findings));
+        findings.extend(kept);
+    }
+
+    findings.retain(|f| !cfg.allow.contains(f.rule));
+    findings.sort();
+    findings.dedup();
+    Report { findings, files_scanned: files.len() }
+}
+
+/// Renders the report as line-oriented human output.
+pub fn render_text(report: &Report) -> String {
+    let mut out = String::new();
+    for f in &report.findings {
+        out.push_str(&format!("{}:{}: [{}] {}\n", f.path, f.line, f.rule, f.message));
+    }
+    out.push_str(&format!(
+        "fs-lint: {} file(s) scanned, {} finding(s)\n",
+        report.files_scanned,
+        report.findings.len()
+    ));
+    out
+}
+
+/// Renders the report as a JSON document (for CI artifacts).
+pub fn render_json(report: &Report) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"files_scanned\": {},\n", report.files_scanned));
+    out.push_str(&format!("  \"finding_count\": {},\n", report.findings.len()));
+    out.push_str("  \"findings\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"message\": {}}}",
+            json_str(f.rule),
+            json_str(&f.path),
+            f.line,
+            json_str(&f.message)
+        ));
+    }
+    if !report.findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Escapes a string for JSON output.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping_is_sound() {
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+
+    #[test]
+    fn empty_report_renders_empty_array() {
+        let r = Report { findings: Vec::new(), files_scanned: 3 };
+        let json = render_json(&r);
+        assert!(json.contains("\"findings\": []"));
+        assert!(json.contains("\"finding_count\": 0"));
+    }
+}

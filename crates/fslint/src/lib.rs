@@ -1,0 +1,61 @@
+//! # fslint — the workspace determinism auditor
+//!
+//! Every tier of this repo's test strategy (docs/TESTING.md) rests on one
+//! contract: the simulation is bit-deterministic. Integer sim-time only,
+//! ordered collections only, and all randomness flowing through labelled
+//! `simcore::rng::Stream::derive` streams. A single stray `HashMap`
+//! iteration or a reused stream label silently perturbs the pinned
+//! campaign digest with no diagnostic pointing at the cause.
+//!
+//! `fs-lint` turns that convention into a machine-checked tier-0 gate: an
+//! offline, zero-dependency static pass over every `.rs` file in `crates/`,
+//! `src/`, `tests/`, and `examples/` (`vendor/`, `target/`, and lint-test
+//! `fixtures/` trees are exempt). It is built on a small hand-rolled lexer
+//! ([`lexer`]) rather than `syn` — the build environment has no crates.io
+//! access — and matches rules against identifier tokens, so forbidden names
+//! in strings, comments, and doc examples never fire.
+//!
+//! ## Rules
+//!
+//! | rule | enforces |
+//! |------|----------|
+//! | `no-wall-clock` | no `Instant`/`SystemTime`/`thread::sleep` outside `crates/bench` |
+//! | `no-unordered-collections` | `BTreeMap`/`BTreeSet`, never `HashMap`/`HashSet` |
+//! | `no-ambient-rng` | no `thread_rng`/`from_entropy`/`rand::random`; streams derive from the master seed |
+//! | `unique-stream-labels` | a `derive("…")` label never recurs in a second file |
+//! | `forbid-unsafe-everywhere` | crate roots carry `#![forbid(unsafe_code)]` + `#![warn(missing_docs)]`; no `unsafe` anywhere |
+//! | `golden-regen-note` | files pinning goldens say how to regenerate them |
+//!
+//! ## Suppressions
+//!
+//! Findings are silenced only by an explicit inline comment with a
+//! mandatory reason, on the offending line or the line above:
+//!
+//! ```text
+//! // fslint: allow(no-wall-clock) — calibrates the harness against real time
+//! ```
+//!
+//! A reason-less or unparsable directive is itself a finding
+//! (`malformed-suppression`) and silences nothing.
+//!
+//! ## Usage
+//!
+//! ```text
+//! cargo run -p fslint --bin fs-lint                  # lint the workspace
+//! cargo run -p fslint --bin fs-lint -- --json        # JSON report on stdout
+//! cargo run -p fslint --bin fs-lint -- --list-rules
+//! fs-lint path/to/a.rs path/to/b.rs                  # lint exactly these files
+//! ```
+//!
+//! Exit status: 0 clean, 1 findings, 2 usage error.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+pub mod suppress;
+
+pub use engine::{collect_workspace_files, lint_paths, lint_workspace, Config, Report};
+pub use rules::{Finding, RULES};

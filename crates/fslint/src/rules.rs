@@ -1,0 +1,359 @@
+//! The determinism rules `fs-lint` enforces, and the matching that backs
+//! them.
+//!
+//! Every rule has a stable kebab-case id that suppression comments and
+//! `--allow` refer to. Rules match on lexed identifier tokens
+//! ([`crate::lexer`]), so forbidden names inside strings, comments, and doc
+//! examples never fire.
+
+use crate::lexer::{Lexed, TokKind, Token};
+use std::collections::BTreeMap;
+
+/// Stable rule identifiers.
+pub mod id {
+    /// Wall-clock reads and sleeps (`Instant`, `SystemTime`,
+    /// `thread::sleep`) outside `crates/bench`.
+    pub const NO_WALL_CLOCK: &str = "no-wall-clock";
+    /// `HashMap`/`HashSet`: iteration order is not deterministic.
+    pub const NO_UNORDERED_COLLECTIONS: &str = "no-unordered-collections";
+    /// Ambient randomness (`thread_rng`, `from_entropy`, `rand::random`).
+    pub const NO_AMBIENT_RNG: &str = "no-ambient-rng";
+    /// Duplicate `derive("…")` stream labels across distinct files.
+    pub const UNIQUE_STREAM_LABELS: &str = "unique-stream-labels";
+    /// Crate roots must `#![forbid(unsafe_code)]` + `#![warn(missing_docs)]`,
+    /// and no scanned file may use `unsafe` at all.
+    pub const FORBID_UNSAFE_EVERYWHERE: &str = "forbid-unsafe-everywhere";
+    /// Files pinning golden constants must carry a regeneration comment.
+    pub const GOLDEN_REGEN_NOTE: &str = "golden-regen-note";
+    /// An inline `allow(...)` suppression comment that is unparsable,
+    /// names an unknown rule, or lacks the mandatory reason. Not allowable.
+    pub const MALFORMED_SUPPRESSION: &str = "malformed-suppression";
+}
+
+/// One rule's id and one-line description (for `--list-rules`).
+pub struct RuleInfo {
+    /// Stable kebab-case id used in suppressions and `--allow`.
+    pub id: &'static str,
+    /// One-line description of what the rule enforces.
+    pub summary: &'static str,
+}
+
+/// Every rule the pass knows, in reporting order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: id::NO_WALL_CLOCK,
+        summary: "std::time::Instant / SystemTime / thread::sleep are forbidden outside \
+                  crates/bench — simulated time only",
+    },
+    RuleInfo {
+        id: id::NO_UNORDERED_COLLECTIONS,
+        summary: "HashMap/HashSet are forbidden — BTreeMap/BTreeSet keep iteration \
+                  deterministic",
+    },
+    RuleInfo {
+        id: id::NO_AMBIENT_RNG,
+        summary: "thread_rng / from_entropy / rand::random are forbidden — randomness must \
+                  flow through simcore::rng::Stream::derive",
+    },
+    RuleInfo {
+        id: id::UNIQUE_STREAM_LABELS,
+        summary: "a derive(\"label\") string may not recur in a second file — label \
+                  collisions correlate supposedly-independent streams",
+    },
+    RuleInfo {
+        id: id::FORBID_UNSAFE_EVERYWHERE,
+        summary: "crate roots carry #![forbid(unsafe_code)] + #![warn(missing_docs)]; no \
+                  scanned file uses `unsafe`",
+    },
+    RuleInfo {
+        id: id::GOLDEN_REGEN_NOTE,
+        summary: "files pinning golden constants carry a regeneration note (how to re-pin, \
+                  see docs/TESTING.md)",
+    },
+    RuleInfo {
+        id: id::MALFORMED_SUPPRESSION,
+        summary: "fslint suppression comments must parse, name known rules, and give a \
+                  reason (never allowable)",
+    },
+];
+
+/// True if `rule` is a known rule id.
+pub fn is_known_rule(rule: &str) -> bool {
+    RULES.iter().any(|r| r.id == rule)
+}
+
+/// One unsuppressed violation.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Workspace-relative path of the offending file.
+    pub path: String,
+    /// 1-based line of the offending token (or comment).
+    pub line: u32,
+    /// The violated rule's id.
+    pub rule: &'static str,
+    /// Human-readable explanation with the fix direction.
+    pub message: String,
+}
+
+/// One lexed file plus the path facts rules key on.
+pub struct FileCtx {
+    /// Workspace-relative path, with `/` separators.
+    pub path: String,
+    /// Lexed tokens and comments.
+    pub lexed: Lexed,
+}
+
+impl FileCtx {
+    /// True for files under `crates/bench/` — the one place allowed to
+    /// wall-time real executions.
+    fn is_bench(&self) -> bool {
+        self.path.starts_with("crates/bench/")
+    }
+
+    /// True for crate roots: `src/lib.rs` at any depth.
+    fn is_crate_root(&self) -> bool {
+        self.path == "src/lib.rs" || self.path.ends_with("/src/lib.rs")
+    }
+}
+
+fn tok(ctx: &FileCtx, i: usize) -> Option<&Token> {
+    ctx.lexed.tokens.get(i)
+}
+
+/// True if tokens at `i` spell the path `a::b`.
+fn is_path_pair(ctx: &FileCtx, i: usize, a: &str, b: &str) -> bool {
+    tok(ctx, i).is_some_and(|t| t.is_ident(a))
+        && tok(ctx, i + 1).is_some_and(|t| t.is_punct(':'))
+        && tok(ctx, i + 2).is_some_and(|t| t.is_punct(':'))
+        && tok(ctx, i + 3).is_some_and(|t| t.is_ident(b))
+}
+
+/// Runs all single-file rules over one file.
+pub fn check_file(ctx: &FileCtx, findings: &mut Vec<Finding>) {
+    no_wall_clock(ctx, findings);
+    no_unordered_collections(ctx, findings);
+    no_ambient_rng(ctx, findings);
+    forbid_unsafe_everywhere(ctx, findings);
+    golden_regen_note(ctx, findings);
+}
+
+fn push(findings: &mut Vec<Finding>, ctx: &FileCtx, line: u32, rule: &'static str, msg: String) {
+    findings.push(Finding { path: ctx.path.clone(), line, rule, message: msg });
+}
+
+fn no_wall_clock(ctx: &FileCtx, findings: &mut Vec<Finding>) {
+    if ctx.is_bench() {
+        // crates/bench may wall-time real executions (Criterion-style);
+        // everything it *simulates* still runs on SimTime.
+        return;
+    }
+    for (i, t) in ctx.lexed.tokens.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let named = match t.text.as_str() {
+            "Instant" | "SystemTime" => Some(t.text.as_str()),
+            "sleep" | "sleep_ms" if i >= 3 && is_path_pair(ctx, i - 3, "thread", &t.text) => {
+                Some("thread::sleep")
+            }
+            _ => None,
+        };
+        if let Some(name) = named {
+            push(
+                findings,
+                ctx,
+                t.line,
+                id::NO_WALL_CLOCK,
+                format!(
+                    "`{name}` reads or waits on the wall clock; the simulation is \
+                     integer-SimTime only (wall timing is allowed only under crates/bench)"
+                ),
+            );
+        }
+    }
+}
+
+fn no_unordered_collections(ctx: &FileCtx, findings: &mut Vec<Finding>) {
+    for t in &ctx.lexed.tokens {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let replacement = match t.text.as_str() {
+            "HashMap" => "BTreeMap",
+            "HashSet" => "BTreeSet",
+            _ => continue,
+        };
+        push(
+            findings,
+            ctx,
+            t.line,
+            id::NO_UNORDERED_COLLECTIONS,
+            format!(
+                "`{}` iterates in randomized order, which leaks into digests and goldens; \
+                 use `{replacement}`",
+                t.text
+            ),
+        );
+    }
+}
+
+fn no_ambient_rng(ctx: &FileCtx, findings: &mut Vec<Finding>) {
+    for (i, t) in ctx.lexed.tokens.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let named = match t.text.as_str() {
+            "thread_rng" | "from_entropy" | "OsRng" | "getrandom" => Some(t.text.as_str()),
+            "random" if i >= 3 && is_path_pair(ctx, i - 3, "rand", "random") => {
+                Some("rand::random")
+            }
+            _ => None,
+        };
+        if let Some(name) = named {
+            push(
+                findings,
+                ctx,
+                t.line,
+                id::NO_AMBIENT_RNG,
+                format!(
+                    "`{name}` draws ambient entropy; all randomness must be a labelled \
+                     child of the master seed via simcore::rng::Stream::derive"
+                ),
+            );
+        }
+    }
+}
+
+fn forbid_unsafe_everywhere(ctx: &FileCtx, findings: &mut Vec<Finding>) {
+    for (i, t) in ctx.lexed.tokens.iter().enumerate() {
+        if t.is_ident("unsafe") {
+            // Attribute mentions like `forbid(unsafe_code)` lex as the
+            // distinct ident `unsafe_code`, so this is a real usage.
+            let _ = i;
+            push(
+                findings,
+                ctx,
+                t.line,
+                id::FORBID_UNSAFE_EVERYWHERE,
+                "`unsafe` is forbidden everywhere in this workspace".to_string(),
+            );
+        }
+    }
+    if ctx.is_crate_root() {
+        for (attr, arg) in [("forbid", "unsafe_code"), ("warn", "missing_docs")] {
+            let present = ctx.lexed.tokens.windows(4).any(|w| {
+                w[0].is_ident(attr)
+                    && w[1].is_punct('(')
+                    && w[2].is_ident(arg)
+                    && w[3].is_punct(')')
+            });
+            if !present {
+                push(
+                    findings,
+                    ctx,
+                    1,
+                    id::FORBID_UNSAFE_EVERYWHERE,
+                    format!("crate root is missing `#![{attr}({arg})]`"),
+                );
+            }
+        }
+    }
+}
+
+fn golden_regen_note(ctx: &FileCtx, findings: &mut Vec<Finding>) {
+    // Only *declarations* pin a golden: `const GOLDEN_…`, `fn golden_…`.
+    // A mere use of an imported golden name is some other file's problem.
+    let toks = &ctx.lexed.tokens;
+    let Some(first_golden) = toks.iter().enumerate().find_map(|(i, t)| {
+        let declares = i > 0
+            && matches!(toks[i - 1].text.as_str(), "const" | "static" | "fn")
+            && toks[i - 1].kind == TokKind::Ident;
+        (declares && t.kind == TokKind::Ident && t.text.to_ascii_lowercase().starts_with("golden"))
+            .then_some(t)
+    }) else {
+        return;
+    };
+    let has_note =
+        ctx.lexed.comments.iter().any(|c| c.text.to_ascii_lowercase().contains("regenerat"));
+    if !has_note {
+        push(
+            findings,
+            ctx,
+            first_golden.line,
+            id::GOLDEN_REGEN_NOTE,
+            format!(
+                "`{}` pins a golden but the file has no regeneration note; add a comment \
+                 saying how to regenerate the constants (see docs/TESTING.md)",
+                first_golden.text
+            ),
+        );
+    }
+}
+
+/// One `derive("label")` call site.
+#[derive(Clone, Debug)]
+pub struct LabelSite {
+    /// Workspace-relative path of the file containing the call.
+    pub path: String,
+    /// 1-based line of the label literal.
+    pub line: u32,
+    /// The label string, as written.
+    pub label: String,
+}
+
+/// Extracts every literal-label `derive("…")` call site from one file.
+///
+/// Only *direct string literals* count: `derive(&format!(…))` and
+/// `derive_index(i)` build labels dynamically and are out of scope. The
+/// attribute form `#[derive(Clone)]` never matches because its argument is
+/// an identifier, not a string literal.
+pub fn label_sites(ctx: &FileCtx) -> Vec<LabelSite> {
+    let toks = &ctx.lexed.tokens;
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        if toks[i].is_ident("derive")
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+            && toks.get(i + 2).is_some_and(|t| t.kind == TokKind::Str)
+        {
+            let lit = &toks[i + 2];
+            out.push(LabelSite { path: ctx.path.clone(), line: lit.line, label: lit.text.clone() });
+        }
+    }
+    out
+}
+
+/// The cross-file rule: a label string may not recur in a second file.
+///
+/// Reuse *within* one file is allowed — it is visible locally and is how
+/// deliberate stream sharing (e.g. a metamorphic fresh/degraded pair) is
+/// written. Reuse across files silently correlates streams that every
+/// reader assumes are independent, so each colliding site gets a finding.
+pub fn check_unique_stream_labels(sites: &[LabelSite], findings: &mut Vec<Finding>) {
+    let mut by_label: BTreeMap<&str, Vec<&LabelSite>> = BTreeMap::new();
+    for s in sites {
+        by_label.entry(&s.label).or_default().push(s);
+    }
+    for (label, sites) in by_label {
+        let mut files: Vec<&str> = sites.iter().map(|s| s.path.as_str()).collect();
+        files.sort_unstable();
+        files.dedup();
+        if files.len() < 2 {
+            continue;
+        }
+        for site in sites {
+            let others: Vec<String> =
+                files.iter().filter(|f| **f != site.path).map(|f| (*f).to_string()).collect();
+            findings.push(Finding {
+                path: site.path.clone(),
+                line: site.line,
+                rule: id::UNIQUE_STREAM_LABELS,
+                message: format!(
+                    "stream label \"{label}\" is also derived in {}; identical labels \
+                     correlate supposedly-independent RNG streams — use a component-scoped \
+                     label",
+                    others.join(", ")
+                ),
+            });
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! End-to-end binary behaviour: exit codes, `--json`, `--out`, and the
+//! acceptance requirement that every positive fixture fails the gate.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name)
+}
+
+fn run(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_fs-lint")).args(args).output().expect("spawn fs-lint")
+}
+
+#[test]
+fn every_positive_fixture_exits_nonzero() {
+    let positives: &[&[&str]] = &[
+        &["wall_clock_pos.rs"],
+        &["unordered_pos.rs"],
+        &["ambient_rng_pos.rs"],
+        &["labels_pos_a.rs", "labels_pos_b.rs"],
+        &["root_pos/src/lib.rs"],
+        &["golden_pos.rs"],
+        &["suppress_no_reason.rs"],
+        &["edge_cases_pos.rs"],
+    ];
+    for set in positives {
+        let files: Vec<String> =
+            set.iter().map(|n| fixture(n).to_string_lossy().into_owned()).collect();
+        let args: Vec<&str> = files.iter().map(String::as_str).collect();
+        let out = run(&args);
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "{set:?} should fail the gate; stdout:\n{}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+    }
+}
+
+#[test]
+fn negative_fixtures_exit_zero() {
+    let out = run(&[
+        fixture("wall_clock_neg.rs").to_str().unwrap(),
+        fixture("golden_neg.rs").to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stdout));
+}
+
+#[test]
+fn json_report_is_emitted_and_parseable_shape() {
+    let out = run(&["--json", fixture("unordered_pos.rs").to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"findings\": ["), "{text}");
+    assert!(text.contains("\"rule\": \"no-unordered-collections\""), "{text}");
+    assert!(text.trim_start().starts_with('{') && text.trim_end().ends_with('}'));
+}
+
+#[test]
+fn out_flag_writes_the_artifact_even_on_failure() {
+    let dir = std::env::temp_dir().join("fslint-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let artifact = dir.join("report.json");
+    let _ = std::fs::remove_file(&artifact);
+    let out =
+        run(&["--out", artifact.to_str().unwrap(), fixture("unordered_pos.rs").to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let written = std::fs::read_to_string(&artifact).expect("artifact written");
+    assert!(written.contains("no-unordered-collections"));
+}
+
+#[test]
+fn unknown_rule_in_allow_is_a_usage_error() {
+    let out = run(&["--allow", "no-such-rule"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn list_rules_names_all_rules() {
+    let out = run(&["--list-rules"]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&out.stdout);
+    for rule in fslint::RULES {
+        assert!(text.contains(rule.id), "missing {} in:\n{text}", rule.id);
+    }
+}

@@ -1,0 +1,8 @@
+//! Negative fixture: randomness flows from the master seed through a
+//! labelled stream, as docs/TESTING.md requires.
+
+fn roll(master: &simcore::rng::Stream) -> u64 {
+    // thread_rng would untie this from the seed tree.
+    let mut stream = master.derive("fixture.roll");
+    stream.next_u64()
+}

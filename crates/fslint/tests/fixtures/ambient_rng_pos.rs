@@ -1,0 +1,9 @@
+//! Positive fixture: ambient entropy sources.
+
+fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    let a: u64 = rand::random();
+    let b = SmallRng::from_entropy().gen::<u64>();
+    let _ = &mut rng;
+    a ^ b
+}

@@ -1,0 +1,40 @@
+//! Lexer gauntlet, negative: every forbidden name below sits in a string,
+//! raw string, comment, nested block comment, or char-literal context —
+//! none of it is code, so the file must lint clean.
+
+/* Outer block comment.
+   /* Nested: HashMap, SystemTime, thread_rng — still a comment. */
+   Still inside the outer comment: Instant::now()
+*/
+
+fn gauntlet() -> usize {
+    let plain = "use std::collections::HashMap;";
+    let escaped = "quote \" then Instant and a backslash \\";
+    let raw = r"thread_rng() and SystemTime::now()";
+    let raw_hash = r#"a "quoted" HashMap::new() inside a raw string"#;
+    let raw_two = r##"even r#"HashSet"# nests: rand::random()"##;
+    let byte = b"from_entropy in a byte string";
+    let raw_byte = br#"unsafe { HashMap }"#;
+    let multi = "an Instant
+spanning lines with derive(\"not-a-real-label\") inside";
+    let ch = 'H';
+    let quote_ch = '\'';
+    let escape_ch = '\n';
+    let uni = '\u{1F600}';
+    let life: &'static str = "lifetime, not a char literal";
+    let r#type = 1usize; // raw identifier must not desync the lexer
+    plain.len()
+        + escaped.len()
+        + raw.len()
+        + raw_hash.len()
+        + raw_two.len()
+        + byte.len()
+        + raw_byte.len()
+        + multi.len()
+        + (ch as usize)
+        + (quote_ch as usize)
+        + (escape_ch as usize)
+        + (uni as usize)
+        + life.len()
+        + r#type
+}

@@ -1,0 +1,11 @@
+//! Lexer gauntlet, positive: after every tricky construct the lexer must
+//! resynchronise and still see the one real violation at the end.
+
+fn gauntlet() -> usize {
+    let raw_two = r##"a decoy r#"HashMap"# inside a raw string"##;
+    /* /* nested decoy: SystemTime */ */
+    let ch = '"'; // a double-quote char literal must not open a string
+    let r#fn = raw_two.len() + (ch as usize);
+    let real = std::collections::HashMap::<u32, u32>::new(); // the violation
+    r#fn + real.len()
+}

@@ -1,0 +1,10 @@
+//! Negative fixture: pins a golden constant and carries the note.
+//!
+//! Regenerate with `cargo run -p fs-bench --release --bin fs-campaign --
+//! --smoke` and copy the printed digest here (see docs/TESTING.md).
+
+const GOLDEN_DIGEST: u64 = 0xdead_beef_dead_beef;
+
+fn check(digest: u64) -> bool {
+    digest == GOLDEN_DIGEST
+}

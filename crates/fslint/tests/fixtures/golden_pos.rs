@@ -1,0 +1,8 @@
+//! Positive fixture: pins a golden constant but never says how to get a
+//! new one when an intentional change moves it.
+
+const GOLDEN_DIGEST: u64 = 0xdead_beef_dead_beef;
+
+fn check(digest: u64) -> bool {
+    digest == GOLDEN_DIGEST
+}

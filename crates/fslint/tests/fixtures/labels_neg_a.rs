@@ -1,0 +1,12 @@
+//! Negative fixture A: component-scoped labels, including deliberate
+//! same-file reuse (a metamorphic pair sharing one stream), which is
+//! allowed because it is visible locally.
+
+#[derive(Clone, Debug)]
+struct Pair;
+
+fn build(root: &simcore::rng::Stream) -> (u64, u64) {
+    let fresh = root.derive("neg-a.plane").next_u64();
+    let degraded = root.derive("neg-a.plane").next_u64();
+    (fresh, degraded)
+}

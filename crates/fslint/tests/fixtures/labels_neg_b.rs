@@ -1,0 +1,8 @@
+//! Negative fixture B: a distinct component-scoped label, plus a dynamic
+//! label (out of scope for the literal-label rule).
+
+fn build_other(root: &simcore::rng::Stream, i: u32) -> u64 {
+    let mut rng = root.derive("neg-b.disk");
+    let mut child = rng.derive(&format!("neg-b.child-{i}"));
+    child.next_u64()
+}

@@ -1,0 +1,6 @@
+//! Positive fixture A: shares the stream label "dup-disk" with fixture B.
+
+fn build(root: &simcore::rng::Stream) -> u64 {
+    let mut rng = root.derive("dup-disk");
+    rng.next_u64()
+}

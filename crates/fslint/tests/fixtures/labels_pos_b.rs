@@ -1,0 +1,6 @@
+//! Positive fixture B: collides with fixture A on "dup-disk".
+
+fn build_other(root: &simcore::rng::Stream) -> u64 {
+    let mut rng = root.derive("dup-disk");
+    rng.next_u64()
+}

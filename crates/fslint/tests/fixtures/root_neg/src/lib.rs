@@ -1,0 +1,9 @@
+//! Negative crate-root fixture: carries both required inner attributes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Safe accessor.
+pub fn peek(xs: &[u8]) -> Option<u8> {
+    xs.first().copied()
+}

@@ -1,0 +1,6 @@
+//! Positive crate-root fixture: missing both required inner attributes,
+//! and using `unsafe` on top of it.
+
+pub fn peek(xs: &[u8]) -> u8 {
+    unsafe { *xs.get_unchecked(0) }
+}

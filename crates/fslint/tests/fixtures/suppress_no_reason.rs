@@ -1,0 +1,9 @@
+//! Fixture: a suppression without the mandatory reason. The HashMap
+//! finding must survive AND the directive itself must be flagged.
+
+// fslint: allow(no-unordered-collections)
+use std::collections::HashMap;
+
+fn build() -> HashMap<u32, u32> {
+    HashMap::new()
+}

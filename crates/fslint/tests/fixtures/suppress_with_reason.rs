@@ -1,0 +1,10 @@
+//! Fixture: properly reasoned suppressions silence their findings — one on
+//! the line above, one trailing on the offending line.
+
+// fslint: allow(no-unordered-collections) — interop fixture: exercising the reasoned-suppression path
+use std::collections::HashMap;
+
+fn build() -> u64 {
+    let m: HashMap<u32, u32> = HashMap::new(); // fslint: allow(no-unordered-collections) — same-line form
+    m.len() as u64
+}

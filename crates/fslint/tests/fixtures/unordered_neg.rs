@@ -1,0 +1,16 @@
+//! Negative fixture: ordered collections only. "HashMap" appears in a
+//! comment and a string, which must not fire.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+fn tally(xs: &[u32]) -> usize {
+    // A HashMap here would randomize digest order.
+    let msg = "HashMap and HashSet are forbidden";
+    let mut seen: BTreeSet<u32> = BTreeSet::new();
+    let mut counts: BTreeMap<u32, u32> = BTreeMap::new();
+    for &x in xs {
+        seen.insert(x);
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    seen.len() + counts.len() + msg.len()
+}

@@ -1,0 +1,14 @@
+//! Positive fixture: unordered collections in a digest-relevant path.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+fn tally(xs: &[u32]) -> usize {
+    let mut seen: HashSet<u32> = HashSet::new();
+    let mut counts: HashMap<u32, u32> = HashMap::new();
+    for &x in xs {
+        seen.insert(x);
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    seen.len() + counts.len()
+}

@@ -1,0 +1,8 @@
+//! Negative fixture: simulated time only. `Instant` appears in a comment
+//! and inside a string, neither of which is code.
+
+fn simulated(now_ns: u64) -> u64 {
+    // An Instant would be wrong here; SimTime is integer nanoseconds.
+    let banner = "never use std::time::Instant or thread::sleep in sim code";
+    now_ns + banner.len() as u64
+}

@@ -1,0 +1,11 @@
+//! Positive fixture: reads the wall clock and sleeps.
+
+use std::time::Instant;
+
+fn measure() -> u128 {
+    let start = Instant::now();
+    std::thread::sleep(std::time::Duration::from_millis(5));
+    let stamp = std::time::SystemTime::now();
+    let _ = stamp;
+    start.elapsed().as_nanos()
+}

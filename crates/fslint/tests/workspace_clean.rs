@@ -1,0 +1,18 @@
+//! The gate, as a test: the workspace itself must lint clean, and any
+//! suppression in it must carry a written reason (a reason-less one is a
+//! `malformed-suppression` finding, which would fail this test too).
+
+use fslint::{lint_workspace, Config};
+use std::path::Path;
+
+#[test]
+fn workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = lint_workspace(&root, &Config::default());
+    assert!(report.files_scanned > 50, "walker found only {} files", report.files_scanned);
+    assert!(
+        report.is_clean(),
+        "fs-lint findings in the workspace:\n{}",
+        fslint::engine::render_text(&report)
+    );
+}

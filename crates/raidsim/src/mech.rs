@@ -171,11 +171,11 @@ mod tests {
 
     fn pair(seed: u64, slow_factor: Option<f64>) -> MechPair {
         let root = Stream::from_seed(seed);
-        let mut a = Disk::new(Geometry::barracuda_7200(), root.derive("a"));
-        let b = Disk::new(Geometry::barracuda_7200(), root.derive("b"));
+        let mut a = Disk::new(Geometry::barracuda_7200(), root.derive("mech.a"));
+        let b = Disk::new(Geometry::barracuda_7200(), root.derive("mech.b"));
         if let Some(f) = slow_factor {
             let p = Injector::StaticSlowdown { factor: f }
-                .timeline(SimDuration::from_secs(100_000), &mut root.derive("inj"));
+                .timeline(SimDuration::from_secs(100_000), &mut root.derive("mech.inj"));
             a = a.with_profile(p);
         }
         MechPair::new(a, b)
@@ -218,8 +218,8 @@ mod tests {
         let root = Stream::from_seed(9);
         let dying =
             stutter::injector::SlowdownProfile::nominal().with_failure_at(SimTime::from_secs(1));
-        let a = Disk::new(Geometry::barracuda_7200(), root.derive("a")).with_profile(dying);
-        let b = Disk::new(Geometry::barracuda_7200(), root.derive("b"));
+        let a = Disk::new(Geometry::barracuda_7200(), root.derive("mech.a")).with_profile(dying);
+        let b = Disk::new(Geometry::barracuda_7200(), root.derive("mech.b"));
         let mut pairs = vec![MechPair::new(a, b)];
         pairs.push(pair(1, None));
         let array = MechRaid10::new(pairs);
@@ -231,8 +231,9 @@ mod tests {
     fn whole_pair_failure_halts_static_survives_adaptive() {
         let root = Stream::from_seed(11);
         let dead = stutter::injector::SlowdownProfile::nominal().with_failure_at(SimTime::ZERO);
-        let a = Disk::new(Geometry::barracuda_7200(), root.derive("a")).with_profile(dead.clone());
-        let b = Disk::new(Geometry::barracuda_7200(), root.derive("b")).with_profile(dead);
+        let a =
+            Disk::new(Geometry::barracuda_7200(), root.derive("mech.a")).with_profile(dead.clone());
+        let b = Disk::new(Geometry::barracuda_7200(), root.derive("mech.b")).with_profile(dead);
         let build = |broken: MechPair| MechRaid10::new(vec![broken, pair(2, None), pair(3, None)]);
         let broken = MechPair::new(a, b);
         let s1 = build(broken.clone()).write_static(workload(), SimTime::ZERO, 64);
@@ -245,8 +246,9 @@ mod tests {
     #[test]
     fn remap_heavy_replica_taxes_the_pair() {
         let root = Stream::from_seed(13);
-        let a = Disk::new(Geometry::barracuda_7200(), root.derive("a")).with_random_defects(20_000);
-        let b = Disk::new(Geometry::barracuda_7200(), root.derive("b"));
+        let a = Disk::new(Geometry::barracuda_7200(), root.derive("mech.a"))
+            .with_random_defects(20_000);
+        let b = Disk::new(Geometry::barracuda_7200(), root.derive("mech.b"));
         let mut dirty_pairs = vec![MechPair::new(a, b)];
         dirty_pairs.push(pair(5, None));
         let dirty = MechRaid10::new(dirty_pairs)

@@ -90,8 +90,8 @@ proptest! {
                     .map(|i| {
                         let root = Stream::from_seed(i as u64);
                         MechPair::new(
-                            Disk::new(Geometry::barracuda_7200(), root.derive("a")),
-                            Disk::new(Geometry::barracuda_7200(), root.derive("b")),
+                            Disk::new(Geometry::barracuda_7200(), root.derive("raid-props.a")),
+                            Disk::new(Geometry::barracuda_7200(), root.derive("raid-props.b")),
                         )
                     })
                     .collect(),

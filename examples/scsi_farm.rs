@@ -22,7 +22,7 @@ fn main() {
         disks,
         ErrorProcess::default(),
         SimDuration::from_secs(days * 86_400),
-        &mut rng.derive("errors"),
+        &mut rng.derive("farm.errors"),
     );
 
     let census = chain.full_horizon_census();

@@ -21,7 +21,7 @@ fn main() {
         floor: 0.2,
         fail_after: Some(SimDuration::from_secs(600)),
     };
-    let profile = wear.timeline(horizon, &mut Stream::from_seed(42).derive("pair-1"));
+    let profile = wear.timeline(horizon, &mut Stream::from_seed(42).derive("wind.pair-1"));
     let mut pairs: Vec<MirrorPair> = (0..4).map(|_| MirrorPair::healthy(10e6)).collect();
     pairs[1] = MirrorPair::new(
         VDisk::new(10e6).with_profile(profile.clone()),

@@ -6,6 +6,10 @@
 //! golden mismatch, not as a silent drift in experiment results. If you
 //! change a model on purpose, update the constants — the diff then
 //! documents the behavioural change.
+//!
+//! Regenerating: re-run the failing test and copy the measured values from
+//! the assertion message into the pinned constants (see docs/TESTING.md);
+//! say in the commit message which intentional change moved them.
 
 use fail_stutter::blockdev::prelude::*;
 use fail_stutter::raidsim::prelude::*;
