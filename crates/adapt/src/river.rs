@@ -65,7 +65,8 @@ pub fn run_decluster(
             // T with a max-flow check specialised to the ring.
             let total: f64 = speeds.iter().sum();
             let lo = partition_bytes * n as f64 / total;
-            let hi = partition_bytes / speeds.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = partition_bytes
+                / speeds.iter().copied().min_by(f64::total_cmp).unwrap_or(f64::INFINITY);
             let feasible = |t: f64| ring_feasible(speeds, partition_bytes, t);
             let mut lo = lo * 0.999;
             let mut hi = hi * 1.001;
@@ -138,6 +139,7 @@ fn ring_assignment(speeds: &[f64], partition_bytes: f64, t: f64) -> Vec<f64> {
         }
     }
     // The caller only asks at a feasible horizon.
+    // fslint: allow(panic-path) — the caller binary-searched `t` with `ring_feasible` before asking
     panic!("no feasible assignment at the given horizon");
 }
 

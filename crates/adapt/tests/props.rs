@@ -31,7 +31,7 @@ proptest! {
         let profiles: Vec<RateProfile> = rates.iter().map(|&r| RateProfile::constant(r)).collect();
         let push = distribute(DistStrategy::Push, &profiles, items, 1.0, SimTime::ZERO).expect("alive");
         let pull = distribute(DistStrategy::Pull, &profiles, items, 1.0, SimTime::ZERO).expect("alive");
-        let slowest = rates.iter().copied().fold(f64::INFINITY, f64::min);
+        let slowest = rates.iter().copied().min_by(f64::total_cmp).unwrap_or(f64::INFINITY);
         let slack = 1.0 / slowest;
         prop_assert!(
             pull.makespan.as_secs_f64() <= push.makespan.as_secs_f64() + slack + 1e-9,

@@ -206,9 +206,9 @@ pub fn e08_vesta_variance() -> Report {
         let (bw, _) = measure_sequential_read(&mut disk, SimTime::ZERO, 16 * MB, MB).expect("ok");
         results.push(bw);
     }
-    let peak = results.iter().copied().fold(0.0, f64::max);
+    let peak = results.iter().copied().max_by(f64::total_cmp).unwrap_or(0.0);
     let near_peak = results.iter().filter(|&&b| b > 0.9 * peak).count();
-    let low_tail = results.iter().copied().fold(f64::INFINITY, f64::min);
+    let low_tail = results.iter().copied().min_by(f64::total_cmp).unwrap_or(f64::INFINITY);
 
     let mut table = Table::new(
         "40 repeated runs of the same benchmark (Vesta-style variance)",

@@ -22,7 +22,8 @@ pub fn e20_threshold() -> Report {
     let mut max_latencies: Vec<f64> = Vec::new();
     for c in 0..components {
         let mut r = rng.derive(&format!("c{c}"));
-        let worst = (0..requests).map(|_| lat_dist.sample(&mut r)).fold(0.0f64, f64::max);
+        let worst =
+            (0..requests).map(|_| lat_dist.sample(&mut r)).max_by(f64::total_cmp).unwrap_or(0.0);
         max_latencies.push(worst);
     }
 

@@ -56,8 +56,9 @@ pub fn run_schedule(
     policy: SchedPolicy,
     requests: &[Request],
 ) -> Result<Vec<Completion>, DiskError> {
+    // FCFS ties are broken by submission order on purpose: "first come"
+    // among simultaneous arrivals *means* position in the caller's slice.
     let mut pending: Vec<(usize, Request)> = requests.iter().copied().enumerate().collect();
-    // Stable order by arrival for FCFS and for tie-breaking.
     pending.sort_by_key(|&(i, r)| (r.at, i));
     let mut done = Vec::with_capacity(pending.len());
     let mut now = SimTime::ZERO;
@@ -76,10 +77,14 @@ pub fn run_schedule(
                 SchedPolicy::Sstf => {
                     let geom = disk.geometry().clone();
                     let head_cyl = geom.cylinder_of(head_lba.min(geom.blocks - 1));
+                    // Equal seek distance is a real tie (one request inward,
+                    // one outward of the head): break it by arrival, then
+                    // request content, so the pick is a function of the
+                    // request set and never of queue order.
                     (0..arrived_end)
                         .min_by_key(|&i| {
                             let r = pending[i].1;
-                            geom.cylinder_of(r.lba).abs_diff(head_cyl)
+                            (geom.cylinder_of(r.lba).abs_diff(head_cyl), r.at, r.lba, r.nblocks)
                         })
                         .expect("non-empty arrived set")
                 }

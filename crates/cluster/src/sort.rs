@@ -177,7 +177,7 @@ fn apportion(total: u64, weights: &[f64]) -> Vec<u64> {
     order.sort_by(|&i, &j| {
         let fi = quotas[i] - quotas[i].floor();
         let fj = quotas[j] - quotas[j].floor();
-        fj.partial_cmp(&fi).expect("finite")
+        fj.total_cmp(&fi)
     });
     for &i in &order {
         if left == 0 {

@@ -51,7 +51,7 @@ proptest! {
         let s = run_sort(&nodes, job, Placement::Static, SimTime::ZERO);
         let a = run_sort(&nodes, job, Placement::Adaptive, SimTime::ZERO);
         // One record per phase of slack on the slowest node.
-        let slowest = speeds.iter().copied().fold(f64::INFINITY, f64::min);
+        let slowest = speeds.iter().copied().min_by(f64::total_cmp).unwrap_or(f64::INFINITY);
         let slack = 3.0 * 100.0 / (10e6 * slowest);
         prop_assert!(
             a.total.as_secs_f64() <= s.total.as_secs_f64() * 1.001 + slack,

@@ -1,17 +1,23 @@
 //! `fs-lint` — the tier-0 determinism gate (see the `fslint` crate docs).
 //!
 //! ```text
-//! fs-lint [--root DIR] [--json] [--out FILE] [--allow RULE]... [--list-rules] [FILE...]
+//! fs-lint [--root DIR] [--json] [--out FILE] [--allow RULE]...
+//!         [--baseline FILE | --write-baseline FILE] [--list-rules] [FILE...]
 //! ```
 //!
 //! With no `FILE` arguments the whole workspace under `--root` (default:
 //! the current directory) is scanned. `--out` always writes the JSON
 //! report to the given file (for CI artifacts) in addition to the chosen
-//! stdout format. Exit status: 0 clean, 1 findings, 2 usage error.
+//! stdout format. `--write-baseline` records the findings of this run as
+//! accepted debt and exits 0; `--baseline` fails only on findings beyond
+//! that recorded debt and reports fixed-but-still-listed entries as stale
+//! (see the crate's `baseline` module docs). Exit status: 0 clean,
+//! 1 findings, 2 usage error.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use fslint::baseline::Baseline;
 use fslint::{engine, Config};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -22,6 +28,8 @@ fn main() -> ExitCode {
     let mut out_file: Option<PathBuf> = None;
     let mut cfg = Config::default();
     let mut files: Vec<PathBuf> = Vec::new();
+    let mut baseline_file: Option<PathBuf> = None;
+    let mut write_baseline: Option<PathBuf> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -42,6 +50,16 @@ fn main() -> ExitCode {
                 }
                 cfg.allow.insert(v);
             }
+            "--baseline" => {
+                let Some(v) = args.next() else { return usage("--baseline needs a file") };
+                baseline_file = Some(PathBuf::from(v));
+            }
+            "--write-baseline" => {
+                let Some(v) = args.next() else {
+                    return usage("--write-baseline needs a file");
+                };
+                write_baseline = Some(PathBuf::from(v));
+            }
             "--list-rules" => {
                 for r in fslint::RULES {
                     println!("{:<26} {}", r.id, r.summary);
@@ -52,7 +70,7 @@ fn main() -> ExitCode {
                 println!(
                     "fs-lint: workspace determinism auditor\n\n\
                      usage: fs-lint [--root DIR] [--json] [--out FILE] [--allow RULE]... \
-                     [--list-rules] [FILE...]"
+                     [--baseline FILE | --write-baseline FILE] [--list-rules] [FILE...]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -61,11 +79,56 @@ fn main() -> ExitCode {
         }
     }
 
-    let report = if files.is_empty() {
+    if baseline_file.is_some() && write_baseline.is_some() {
+        return usage("--baseline and --write-baseline are mutually exclusive");
+    }
+
+    let mut report = if files.is_empty() {
         engine::lint_workspace(&root, &cfg)
     } else {
         engine::lint_paths(&root, &files, &cfg)
     };
+
+    if let Some(path) = write_baseline {
+        let b = Baseline::from_findings(&report.findings);
+        if let Err(e) = std::fs::write(&path, b.render()) {
+            eprintln!("fs-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "fs-lint: wrote baseline {} ({} finding(s) across {} rule/path key(s))",
+            path.display(),
+            report.findings.len(),
+            b.len()
+        );
+        // Recording debt is the acknowledgement step: always succeeds.
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(path) = &baseline_file {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("fs-lint: cannot read {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let b = match Baseline::parse(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("fs-lint: bad baseline {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let diff = b.apply(std::mem::take(&mut report.findings));
+        for (rule, path, unused) in &diff.stale {
+            eprintln!(
+                "fs-lint: note: stale baseline entry {rule} at {path} \
+                 ({unused} finding(s) fixed) — re-run --write-baseline to shrink it"
+            );
+        }
+        report.findings = diff.new;
+    }
 
     if let Some(path) = out_file {
         if let Err(e) = std::fs::write(&path, engine::render_json(&report)) {
@@ -88,6 +151,9 @@ fn main() -> ExitCode {
 
 fn usage(msg: &str) -> ExitCode {
     eprintln!("fs-lint: {msg}");
-    eprintln!("usage: fs-lint [--root DIR] [--json] [--out FILE] [--allow RULE]... [FILE...]");
+    eprintln!(
+        "usage: fs-lint [--root DIR] [--json] [--out FILE] [--allow RULE]... \
+         [--baseline FILE | --write-baseline FILE] [FILE...]"
+    );
     ExitCode::from(2)
 }

@@ -8,7 +8,9 @@
 //! in sorted order and findings are sorted by (path, line, rule).
 
 use crate::lexer;
+use crate::parse;
 use crate::rules::{self, FileCtx, Finding, LabelSite};
+use crate::sem;
 use crate::suppress;
 use std::collections::BTreeSet;
 use std::fs;
@@ -99,6 +101,8 @@ pub fn lint_paths(root: &Path, files: &[PathBuf], cfg: &Config) -> Report {
         let ctx = FileCtx { path: path.clone(), lexed: lexer::lex(&source) };
         let mut file_findings = Vec::new();
         rules::check_file(&ctx, &mut file_findings);
+        let model = parse::parse(&ctx.lexed);
+        sem::check_file(&ctx, &model, &mut file_findings);
         sites.extend(rules::label_sites(&ctx));
         per_file.push((path, suppress::scan(&ctx.lexed.comments), file_findings));
     }

@@ -25,6 +25,14 @@
 //! | `unique-stream-labels` | a `derive("…")` label never recurs in a second file |
 //! | `forbid-unsafe-everywhere` | crate roots carry `#![forbid(unsafe_code)]` + `#![warn(missing_docs)]`; no `unsafe` anywhere |
 //! | `golden-regen-note` | files pinning goldens say how to regenerate them |
+//! | `stable-tiebreak` | scheduling-path comparators carry a deterministic tiebreak beyond bare time or floats |
+//! | `float-total-order` | float orderings use `total_cmp`, not `partial_cmp().unwrap()` or NaN-absorbing folds |
+//! | `panic-path` | no `unwrap`/`expect`/panic macros/computed indexing in injector-reachable library code |
+//!
+//! The last three run on a lightweight semantic model ([`parse`]) built over
+//! the lexer — function items, impl blocks, comparator closures, and
+//! per-function bound variables — and are scoped to the path sets defined in
+//! [`sem`].
 //!
 //! ## Suppressions
 //!
@@ -48,13 +56,27 @@
 //! ```
 //!
 //! Exit status: 0 clean, 1 findings, 2 usage error.
+//!
+//! ## Baselines
+//!
+//! To adopt a new rule on a tree with pre-existing findings without losing
+//! the gate on regressions, record the debt and compare against it
+//! (see [`baseline`] for the add/remove semantics):
+//!
+//! ```text
+//! fs-lint --write-baseline fslint-baseline.json   # record current findings
+//! fs-lint --baseline fslint-baseline.json         # fail only on NEW findings
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod engine;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
+pub mod sem;
 pub mod suppress;
 
 pub use engine::{collect_workspace_files, lint_paths, lint_workspace, Config, Report};

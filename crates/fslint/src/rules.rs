@@ -25,6 +25,15 @@ pub mod id {
     pub const FORBID_UNSAFE_EVERYWHERE: &str = "forbid-unsafe-everywhere";
     /// Files pinning golden constants must carry a regeneration comment.
     pub const GOLDEN_REGEN_NOTE: &str = "golden-regen-note";
+    /// Scheduling-path comparators keyed on one expression (or a float):
+    /// ties fall back to container order.
+    pub const STABLE_TIEBREAK: &str = "stable-tiebreak";
+    /// `partial_cmp(..).unwrap()`-style forced total orders and
+    /// NaN-absorbing float `min`/`max` reductions.
+    pub const FLOAT_TOTAL_ORDER: &str = "float-total-order";
+    /// `unwrap`/`expect`/panicking macros/unbounded subscripts in
+    /// injector-reachable library code.
+    pub const PANIC_PATH: &str = "panic-path";
     /// An inline `allow(...)` suppression comment that is unparsable,
     /// names an unknown rule, or lacks the mandatory reason. Not allowable.
     pub const MALFORMED_SUPPRESSION: &str = "malformed-suppression";
@@ -69,6 +78,21 @@ pub const RULES: &[RuleInfo] = &[
         id: id::GOLDEN_REGEN_NOTE,
         summary: "files pinning golden constants carry a regeneration note (how to re-pin, \
                   see docs/TESTING.md)",
+    },
+    RuleInfo {
+        id: id::STABLE_TIEBREAK,
+        summary: "scheduling-path comparators (sort/min/max/Ord impls/BinaryHeap) must carry \
+                  a stable tiebreak key and never key on floats",
+    },
+    RuleInfo {
+        id: id::FLOAT_TOTAL_ORDER,
+        summary: "no partial_cmp(..).unwrap()/expect()/unwrap_or() and no NaN-absorbing \
+                  f64::min/max reductions — use total_cmp or an integer key",
+    },
+    RuleInfo {
+        id: id::PANIC_PATH,
+        summary: "no unwrap/expect/panic!-family/unbounded subscripts in injector-reachable \
+                  library code (simcore, raidsim, perfplane, adapt, stutter)",
     },
     RuleInfo {
         id: id::MALFORMED_SUPPRESSION,

@@ -23,6 +23,9 @@ fn every_positive_fixture_exits_nonzero() {
         &["golden_pos.rs"],
         &["suppress_no_reason.rs"],
         &["edge_cases_pos.rs"],
+        &["sem/crates/simcore/src/tiebreak_pos.rs"],
+        &["sem/float_order_pos.rs"],
+        &["sem/crates/stutter/src/panic_pos.rs"],
     ];
     for set in positives {
         let files: Vec<String> =
@@ -73,6 +76,82 @@ fn out_flag_writes_the_artifact_even_on_failure() {
 #[test]
 fn unknown_rule_in_allow_is_a_usage_error() {
     let out = run(&["--allow", "no-such-rule"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn baseline_workflow_records_then_gates_only_new_findings() {
+    let dir = std::env::temp_dir().join("fslint-baseline-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let baseline = dir.join("baseline.json");
+    let float_pos = fixture("sem/float_order_pos.rs");
+    let panic_pos = fixture("sem/crates/stutter/src/panic_pos.rs");
+
+    // Record the float findings as accepted debt; the write itself succeeds
+    // even though the tree is dirty.
+    let out = run(&["--write-baseline", baseline.to_str().unwrap(), float_pos.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(std::fs::read_to_string(&baseline).unwrap().contains("float-total-order"));
+
+    // Same tree against the baseline: everything is covered, gate passes.
+    let out = run(&["--baseline", baseline.to_str().unwrap(), float_pos.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stdout));
+
+    // A file with findings NOT in the baseline fails, and only the new
+    // findings are reported (add semantics).
+    let out = run(&[
+        "--baseline",
+        baseline.to_str().unwrap(),
+        float_pos.to_str().unwrap(),
+        panic_pos.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("panic-path"), "{text}");
+    assert!(!text.contains("float-total-order"), "baselined findings leaked:\n{text}");
+}
+
+#[test]
+fn fixed_baseline_entries_are_reported_stale_without_failing() {
+    let dir = std::env::temp_dir().join("fslint-baseline-stale-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let baseline = dir.join("baseline.json");
+    let float_pos = fixture("sem/float_order_pos.rs");
+    let panic_pos = fixture("sem/crates/stutter/src/panic_pos.rs");
+
+    let out = run(&[
+        "--write-baseline",
+        baseline.to_str().unwrap(),
+        float_pos.to_str().unwrap(),
+        panic_pos.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+
+    // "Fix" the panic findings by dropping that file from the run: the gate
+    // stays green (remove semantics) but the stale entry is surfaced.
+    let out = run(&["--baseline", baseline.to_str().unwrap(), float_pos.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stdout));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("stale baseline entry"), "{err}");
+    assert!(err.contains("panic_pos.rs"), "{err}");
+}
+
+#[test]
+fn bad_baseline_usage_is_a_usage_error() {
+    let dir = std::env::temp_dir().join("fslint-baseline-bad-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let garbled = dir.join("garbled.json");
+    std::fs::write(&garbled, "{\"not\": \"a baseline\"}").unwrap();
+    let neg = fixture("wall_clock_neg.rs");
+
+    let out = run(&["--baseline", garbled.to_str().unwrap(), neg.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+
+    let missing = dir.join("no-such-file.json");
+    let out = run(&["--baseline", missing.to_str().unwrap(), neg.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+
+    let out = run(&["--baseline", garbled.to_str().unwrap(), "--write-baseline", "x"]);
     assert_eq!(out.status.code(), Some(2));
 }
 

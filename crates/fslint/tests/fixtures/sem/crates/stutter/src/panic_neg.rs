@@ -1,0 +1,54 @@
+//! panic-path negative fixture: handled fallibility, asserted contracts,
+//! bound-identifier subscripts, test code, and one documented suppression.
+
+pub fn handled(x: Option<u64>) -> u64 {
+    x.unwrap_or(0)
+}
+
+pub fn propagated(x: Option<u64>) -> Option<u64> {
+    let v = x?;
+    Some(v + 1)
+}
+
+pub fn asserted_contract(v: &[u64]) {
+    assert!(!v.is_empty(), "specified fail-stop, documented under # Panics");
+    debug_assert!(v.len() < 1_000_000);
+}
+
+pub fn fixed_shape(w: &[u64]) -> u64 {
+    w[0] + w[1]
+}
+
+pub fn bound_subscripts(v: &[u64], k: usize) -> u64 {
+    let mut total = v[k];
+    let mid = v.len() / 2;
+    total += v[mid];
+    for i in 0..v.len() {
+        total += v[i];
+    }
+    total += v.iter().enumerate().map(|(j, _)| v[j]).sum::<u64>();
+    total
+}
+
+pub fn range_slice(v: &[u64], k: usize) -> &[u64] {
+    &v[..k]
+}
+
+pub fn checked_lookup(v: &[u64], k: usize) -> u64 {
+    v.get(k).copied().unwrap_or(0)
+}
+
+pub fn documented_invariant(x: Option<u64>) -> u64 {
+    // fslint: allow(panic-path) — populated unconditionally two lines above
+    x.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic() {
+        let v: Vec<u64> = Vec::new();
+        assert_eq!(v.first().copied().unwrap_or(1), super::handled(None) + 1);
+        let _ = Some(3u64).unwrap();
+    }
+}

@@ -1,0 +1,35 @@
+//! panic-path positive fixture: unscheduled fail-stops in a tree the fault
+//! injector can reach (the path mirrors `crates/stutter/src/`).
+
+pub fn unwraps(x: Option<u64>) -> u64 {
+    x.unwrap()
+}
+
+pub fn expects(x: Option<u64>) -> u64 {
+    x.expect("always present")
+}
+
+pub fn panics(kind: u8) {
+    if kind > 3 {
+        panic!("unknown kind {kind}");
+    }
+}
+
+pub fn unreachable_arm(kind: u8) -> u64 {
+    match kind {
+        0 => 1,
+        _ => unreachable!(),
+    }
+}
+
+pub fn computed_subscript(v: &[u64], i: usize) -> u64 {
+    v[i - 1]
+}
+
+pub struct Cursor {
+    pub pos: usize,
+}
+
+pub fn field_subscript(v: &[u64], c: &Cursor) -> u64 {
+    v[c.pos]
+}

@@ -1,0 +1,19 @@
+//! float-total-order negative fixture: total-order comparisons, integer
+//! reductions, and one documented suppression.
+
+pub fn total_sort(v: &mut Vec<f64>) {
+    v.sort_by(f64::total_cmp);
+}
+
+pub fn total_min(xs: &[f64]) -> f64 {
+    xs.iter().copied().min_by(f64::total_cmp).unwrap_or(f64::INFINITY)
+}
+
+pub fn integer_fold(xs: &[u64]) -> u64 {
+    xs.iter().copied().fold(0, u64::max)
+}
+
+pub fn documented_absorption(xs: &[f64]) -> f64 {
+    // fslint: allow(float-total-order) — inputs are clamped non-NaN upstream
+    xs.iter().copied().fold(f64::INFINITY, f64::min)
+}

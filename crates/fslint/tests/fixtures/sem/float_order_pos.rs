@@ -1,0 +1,22 @@
+//! float-total-order positive fixture: partial-order comparisons and
+//! NaN-absorbing reductions over floats. The rule applies on every path.
+
+pub fn panicking_sort(v: &mut Vec<f64>) {
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+}
+
+pub fn panicking_expect(v: &mut Vec<f64>) {
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+}
+
+pub fn silently_ranked(a: f64, b: f64) -> Ordering {
+    a.partial_cmp(&b).unwrap_or(Ordering::Equal)
+}
+
+pub fn absorbing_min(xs: &[f64]) -> f64 {
+    xs.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+pub fn absorbing_reduce(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().reduce(f64::max)
+}

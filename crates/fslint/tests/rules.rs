@@ -80,6 +80,53 @@ fn regen_note_positive_and_negative() {
 }
 
 #[test]
+fn stable_tiebreak_positive_and_negative() {
+    let pos = lint(&["sem/crates/simcore/src/tiebreak_pos.rs"]);
+    assert_eq!(rules_of(&pos), vec![id::STABLE_TIEBREAK]);
+    // Single-key sort, single-key selection, bare-time Ord impl, bare-time
+    // heap, float tuple key, float comparator.
+    assert_eq!(pos.len(), 6, "{pos:?}");
+    assert!(lint(&["sem/crates/simcore/src/tiebreak_neg.rs"]).is_empty());
+}
+
+#[test]
+fn float_total_order_positive_and_negative() {
+    let pos = lint(&["sem/float_order_pos.rs"]);
+    assert_eq!(rules_of(&pos), vec![id::FLOAT_TOTAL_ORDER]);
+    // unwrap sort, expect sort, unwrap_or rank, min fold, max reduce.
+    assert_eq!(pos.len(), 5, "{pos:?}");
+    assert!(lint(&["sem/float_order_neg.rs"]).is_empty());
+}
+
+#[test]
+fn panic_path_positive_and_negative() {
+    let pos = lint(&["sem/crates/stutter/src/panic_pos.rs"]);
+    assert_eq!(rules_of(&pos), vec![id::PANIC_PATH]);
+    // unwrap, expect, panic!, unreachable!, computed and field subscripts.
+    assert_eq!(pos.len(), 6, "{pos:?}");
+    assert!(lint(&["sem/crates/stutter/src/panic_neg.rs"]).is_empty());
+}
+
+#[test]
+fn semantic_rules_stay_in_their_path_scopes() {
+    // The same sources outside a scheduling / injector-reachable tree only
+    // fire the everywhere rules (none of these fixtures trip those).
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let moved = |name: &str| {
+        let src = std::fs::read_to_string(fixture(name)).unwrap();
+        let dir = std::env::temp_dir().join("fslint-scope-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name.rsplit('/').next().unwrap());
+        std::fs::write(&path, src).unwrap();
+        lint_paths(&root, &[path], &Config::default()).findings
+    };
+    assert!(moved("sem/crates/simcore/src/tiebreak_pos.rs")
+        .iter()
+        .all(|f| f.rule != id::STABLE_TIEBREAK));
+    assert!(moved("sem/crates/stutter/src/panic_pos.rs").iter().all(|f| f.rule != id::PANIC_PATH));
+}
+
+#[test]
 fn suppression_requires_a_reason() {
     // Without a reason: the directive is flagged AND silences nothing.
     let pos = lint(&["suppress_no_reason.rs"]);
@@ -113,6 +160,9 @@ fn all_negative_fixtures_are_clean_together() {
         "golden_neg.rs",
         "suppress_with_reason.rs",
         "edge_cases_neg.rs",
+        "sem/crates/simcore/src/tiebreak_neg.rs",
+        "sem/crates/stutter/src/panic_neg.rs",
+        "sem/float_order_neg.rs",
     ]);
     assert!(all.is_empty(), "{all:?}");
 }

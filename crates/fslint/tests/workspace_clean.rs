@@ -9,10 +9,27 @@ use std::path::Path;
 fn workspace_lints_clean() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     let report = lint_workspace(&root, &Config::default());
-    assert!(report.files_scanned > 50, "walker found only {} files", report.files_scanned);
+    assert!(report.files_scanned > 100, "walker found only {} files", report.files_scanned);
     assert!(
         report.is_clean(),
         "fs-lint findings in the workspace:\n{}",
         fslint::engine::render_text(&report)
     );
+}
+
+#[test]
+fn semantic_rules_are_registered() {
+    // The clean run above is only meaningful if the semantic pass actually
+    // ran: a refactor that dropped a rule from the registry would keep the
+    // workspace "clean" silently.
+    for id in [
+        fslint::rules::id::STABLE_TIEBREAK,
+        fslint::rules::id::FLOAT_TOTAL_ORDER,
+        fslint::rules::id::PANIC_PATH,
+    ] {
+        assert!(
+            fslint::RULES.iter().any(|r| r.id == id),
+            "semantic rule {id} missing from the registry"
+        );
+    }
 }

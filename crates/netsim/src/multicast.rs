@@ -117,13 +117,13 @@ pub fn run_multicast(
             let capacity = m.rate_at(t) * dt;
             applied[i] = (applied[i] + capacity).min(offered);
         }
-        let min_applied = applied.iter().copied().fold(f64::INFINITY, f64::min);
+        let min_applied = applied.iter().copied().min_by(f64::total_cmp).unwrap_or(f64::INFINITY);
         let new_group = match protocol {
             McastProtocol::Atomic => min_applied,
             McastProtocol::Bimodal => {
                 // Deliver at the majority's pace: the median applied count.
                 let mut sorted = applied.clone();
-                sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                sorted.sort_by(f64::total_cmp);
                 sorted[sorted.len() / 2]
             }
         };
@@ -137,7 +137,7 @@ pub fn run_multicast(
         }
     }
 
-    let min_applied = applied.iter().copied().fold(f64::INFINITY, f64::min);
+    let min_applied = applied.iter().copied().min_by(f64::total_cmp).unwrap_or(f64::INFINITY);
     McastOutcome {
         mean_delivery: group_delivered / config.duration.as_secs_f64(),
         peak_lag,

@@ -135,7 +135,7 @@ pub fn run_transpose(config: &TransposeConfig, drain_multipliers: &[f64]) -> Tra
 /// gated by its slowest receiver — the static-parallelism reference model.
 pub fn barrier_transpose_time(config: &TransposeConfig, drain_multipliers: &[f64]) -> SimDuration {
     assert_eq!(drain_multipliers.len(), config.nodes, "one multiplier per node");
-    let slowest = drain_multipliers.iter().copied().fold(f64::INFINITY, f64::min);
+    let slowest = drain_multipliers.iter().copied().min_by(f64::total_cmp).unwrap_or(f64::INFINITY);
     assert!(slowest > 0.0, "a zero-rate receiver never finishes");
     let phase =
         config.bytes_per_pair as f64 / (config.drain_rate * slowest).min(config.inject_rate);

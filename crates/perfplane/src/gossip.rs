@@ -135,7 +135,8 @@ impl PlaneSpec {
     pub fn set_link_profile(&mut self, from: usize, to: usize, profile: SlowdownProfile) {
         let n = self.nodes();
         assert!(from < n && to < n && from != to, "bad link ({from} -> {to})");
-        self.link_profiles[from * n + to] = Some(profile);
+        let idx = from * n + to;
+        self.link_profiles[idx] = Some(profile);
     }
 
     /// Gives **every** directed link the same timeline (the "the plane's
@@ -145,7 +146,8 @@ impl PlaneSpec {
         for from in 0..n {
             for to in 0..n {
                 if from != to {
-                    self.link_profiles[from * n + to] = Some(profile.clone());
+                    let idx = from * n + to;
+                    self.link_profiles[idx] = Some(profile.clone());
                 }
             }
         }
@@ -164,7 +166,8 @@ impl PlaneSpec {
                 if from == to {
                     continue;
                 }
-                let p = &mut out.link_profiles[from * n + to];
+                let idx = from * n + to;
+                let p = &mut out.link_profiles[idx];
                 *p = Some(match p.take() {
                     Some(existing) => existing.compose(&slow),
                     None => slow.clone(),
@@ -402,7 +405,8 @@ pub fn run_plane(spec: &PlaneSpec, rng: &mut Stream) -> PlaneRun {
             if from == to {
                 continue; // the diagonal carries nothing
             }
-            if let Some(p) = &spec.link_profiles[from * n + to] {
+            let idx = from * n + to;
+            if let Some(p) = &spec.link_profiles[idx] {
                 mesh.set_profile(from, to, p.clone());
             }
         }

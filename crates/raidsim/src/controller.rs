@@ -176,7 +176,7 @@ impl Raid10 {
         order.sort_by(|&i, &j| {
             let fi = quotas[i] - quotas[i].floor();
             let fj = quotas[j] - quotas[j].floor();
-            fj.partial_cmp(&fi).expect("finite quotas")
+            fj.total_cmp(&fi)
         });
         for &i in &order {
             if leftover == 0 {

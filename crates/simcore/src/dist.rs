@@ -314,6 +314,7 @@ impl Zipf {
             acc += 1.0 / (k as f64).powf(s);
             cdf.push(acc);
         }
+        // fslint: allow(panic-path) — cdf holds n entries and n > 0 is asserted above
         let total = *cdf.last().expect("non-empty");
         for v in &mut cdf {
             *v /= total;
@@ -356,6 +357,7 @@ impl WeightedIndex {
 
     /// Draws an index with probability proportional to its weight.
     pub fn sample(&self, rng: &mut Stream) -> usize {
+        // fslint: allow(panic-path) — the constructor asserts a positive weight sum, so cumulative is non-empty
         let total = *self.cumulative.last().expect("non-empty");
         let u = rng.next_f64() * total;
         self.cumulative.partition_point(|&c| c <= u).min(self.cumulative.len() - 1)
@@ -424,7 +426,7 @@ mod tests {
         let d = LogNormal::with_median(5.0, 0.5);
         let mut rng = Stream::from_seed(7);
         let mut samples: Vec<f64> = (0..10_001).map(|_| d.sample(&mut rng)).collect();
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        samples.sort_by(f64::total_cmp);
         assert!(samples[0] > 0.0);
         let median = samples[5_000];
         assert!((median - 5.0).abs() < 0.3, "median {median}");

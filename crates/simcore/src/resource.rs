@@ -149,6 +149,7 @@ impl RateProfile {
     /// breakpoint).
     pub fn push(&mut self, start: SimTime, rate: f64) {
         assert!(rate.is_finite() && rate >= 0.0, "invalid rate {rate}");
+        // fslint: allow(panic-path) — every RateProfile constructor seeds at least one segment
         let last = self.segments.last().expect("non-empty").0;
         assert!(start > last, "breakpoints must be strictly increasing");
         self.segments.push((start, rate));
@@ -157,6 +158,7 @@ impl RateProfile {
     /// The instantaneous rate at time `t`.
     pub fn rate_at(&self, t: SimTime) -> f64 {
         let idx = self.segments.partition_point(|&(s, _)| s <= t);
+        // fslint: allow(panic-path) — the first segment starts at SimTime::ZERO <= t, so partition_point >= 1
         self.segments[idx - 1].1
     }
 

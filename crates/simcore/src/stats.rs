@@ -199,9 +199,10 @@ impl Histogram {
         self.count += 1;
         self.sum += x;
         self.max_seen = self.max_seen.max(x);
-        match self.index_of(x) {
-            Some(i) => self.buckets[i] += 1,
-            None => self.underflow += 1,
+        if let Some(i) = self.index_of(x) {
+            self.buckets[i] += 1;
+        } else {
+            self.underflow += 1;
         }
     }
 
@@ -363,12 +364,12 @@ impl Series {
 
     /// Minimum value, or +inf if empty.
     pub fn min(&self) -> f64 {
-        self.points.iter().map(|&(_, v)| v).fold(f64::INFINITY, f64::min)
+        self.points.iter().map(|&(_, v)| v).min_by(f64::total_cmp).unwrap_or(f64::INFINITY)
     }
 
     /// Maximum value, or -inf if empty.
     pub fn max(&self) -> f64 {
-        self.points.iter().map(|&(_, v)| v).fold(f64::NEG_INFINITY, f64::max)
+        self.points.iter().map(|&(_, v)| v).max_by(f64::total_cmp).unwrap_or(f64::NEG_INFINITY)
     }
 
     /// Downsamples to at most `n` points by stride, preserving endpoints.
@@ -379,6 +380,7 @@ impl Series {
         let stride = self.points.len().div_ceil(n);
         let mut points: Vec<(SimTime, f64)> = self.points.iter().step_by(stride).copied().collect();
         if points.last() != self.points.last() {
+            // fslint: allow(panic-path) — the early return leaves points.len() > n >= 1
             points.push(*self.points.last().expect("non-empty"));
         }
         Series { points }
@@ -427,7 +429,7 @@ impl RateMeter {
 pub fn exact_quantile(samples: &mut [f64], q: f64) -> f64 {
     assert!(!samples.is_empty(), "quantile of empty sample set");
     assert!((0.0..=1.0).contains(&q));
-    samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN in samples"));
+    samples.sort_by(f64::total_cmp);
     let idx = ((samples.len() - 1) as f64 * q).round() as usize;
     samples[idx]
 }

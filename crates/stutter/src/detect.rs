@@ -143,8 +143,9 @@ impl PeerRelativeDetector {
     /// too fragile, so everything non-zero is reported healthy.
     pub fn classify_round(&self, rates: &[f64]) -> Vec<HealthState> {
         let mut sorted: Vec<f64> = rates.iter().copied().filter(|r| *r > 0.0).collect();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("rates must not be NaN"));
-        let median = if sorted.len() >= 3 { sorted[sorted.len() / 2] } else { 0.0 };
+        sorted.sort_by(f64::total_cmp);
+        let mid = sorted.len() / 2;
+        let median = if sorted.len() >= 3 { sorted[mid] } else { 0.0 };
         rates
             .iter()
             .map(|&r| {

@@ -197,6 +197,7 @@ impl SlowdownProfile {
             return 0.0;
         }
         let idx = self.segments.partition_point(|&(s, _)| s <= t);
+        // fslint: allow(panic-path) — the first segment starts at SimTime::ZERO <= t, so partition_point >= 1
         self.segments[idx - 1].1
     }
 
@@ -275,6 +276,7 @@ impl SlowdownProfile {
 
     fn raw_multiplier_at(&self, t: SimTime) -> f64 {
         let idx = self.segments.partition_point(|&(s, _)| s <= t);
+        // fslint: allow(panic-path) — the first segment starts at SimTime::ZERO <= t, so partition_point >= 1
         self.segments[idx - 1].1
     }
 

@@ -120,8 +120,8 @@ pub fn fit_spec(samples: &[f64], fidelity: SpecFidelity) -> PerfSpec {
             PerfSpec::distribution(mean, cv.max(0.01), 3.0)
         }
         SpecFidelity::Envelope => {
-            let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
-            let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let min = samples.iter().copied().min_by(f64::total_cmp).unwrap_or(f64::INFINITY);
+            let max = samples.iter().copied().max_by(f64::total_cmp).unwrap_or(f64::NEG_INFINITY);
             PerfSpec::envelope(min, max)
         }
     }

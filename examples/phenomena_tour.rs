@@ -24,7 +24,8 @@ fn main() {
         let mean = profile.mean_multiplier(horizon);
         let worst = (0..3600)
             .map(|s| profile.multiplier_at(SimTime::from_secs(s)))
-            .fold(f64::INFINITY, f64::min);
+            .min_by(f64::total_cmp)
+            .unwrap_or(f64::INFINITY);
 
         // Watch it the fail-stutter way.
         let mut detector = EwmaDetector::new(PerfSpec::constant(1.0), 0.2);

@@ -83,7 +83,7 @@ proptest! {
             .pairs()
             .iter()
             .map(|p| p.write_rate_at(SimTime::ZERO))
-            .fold(f64::INFINITY, f64::min);
+            .min_by(f64::total_cmp).unwrap_or(f64::INFINITY);
         let block_slack = 65_536.0 / slowest;
         let chunk_slack = 16.0 * 65_536.0 / slowest;
         prop_assert!(
