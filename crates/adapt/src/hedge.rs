@@ -130,12 +130,10 @@ pub fn run_hedged(
         }
 
         // Duplicate onto the least-loaded other worker at the hedge time.
-        // fslint: allow(panic-path) — `needs_hedge` is only true when `hedge_at` is Some
         let hedge_time = hedge_at.expect("hedging enabled").max(issued);
         let secondary = (0..rates.len())
             .filter(|&w| w != primary)
             .min_by_key(|&w| next_free[w])
-            // fslint: allow(panic-path) — rates.len() >= 2 is asserted at entry, so the filter leaves a worker
             .expect("at least two workers");
         let s_start = next_free[secondary].max(hedge_time);
         let s_done = rates[secondary].time_to_transfer(s_start, task_units).map(|d| s_start + d);

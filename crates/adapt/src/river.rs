@@ -139,7 +139,6 @@ fn ring_assignment(speeds: &[f64], partition_bytes: f64, t: f64) -> Vec<f64> {
         }
     }
     // The caller only asks at a feasible horizon.
-    // fslint: allow(panic-path) — the caller binary-searched `t` with `ring_feasible` before asking
     panic!("no feasible assignment at the given horizon");
 }
 

@@ -127,7 +127,6 @@ pub fn run_transactions(
                     let secondary = (0..processor_speeds.len())
                         .filter(|&p| p != primary)
                         .min_by_key(|&p| cpu_free[p].max(deadline))
-                        // fslint: allow(panic-path) — processor_speeds.len() >= 2 is asserted at entry
                         .expect("two processors");
                     let s_start = cpu_free[secondary].max(deadline).max(locks_at);
                     let s_done = s_start + t.work.mul_f64(1.0 / processor_speeds[secondary]);

@@ -7,7 +7,7 @@
 //! digest is taken.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 use super::scenario::{run_scenario, Scenario, ScenarioResult};
 use super::CampaignConfig;
@@ -26,7 +26,10 @@ pub fn run_all(scenarios: &[Scenario], cfg: &CampaignConfig) -> Vec<ScenarioResu
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(sc) = scenarios.get(i) else { break };
                 let result = run_scenario(sc, cfg);
-                *slots[i].lock().expect("result slot poisoned") = Some(result);
+                // Poison is recovered, not propagated: the slot is only
+                // ever assigned, so a poisoned lock still holds a sound
+                // (possibly None) value.
+                *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
             });
         }
     });
@@ -35,7 +38,8 @@ pub fn run_all(scenarios: &[Scenario], cfg: &CampaignConfig) -> Vec<ScenarioResu
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .expect("result slot poisoned")
+                .unwrap_or_else(PoisonError::into_inner)
+                // fslint: allow(panic-path) — thread::scope propagates worker panics, so reaching here means every worker completed and filled its slot
                 .expect("worker pool exited before finishing every scenario")
         })
         .collect()

@@ -688,10 +688,12 @@ fn run_plane_cell(
     let array = Raid10::new(pairs, cfg.horizon);
     let w = Workload::new(cfg.blocks, cfg.block_bytes);
 
+    // fslint: allow(panic-path) — run_plane asserts n >= 2 and returns exactly one view per node
     let consumer = &fresh.views[n - 1];
     let mut est =
         |i: usize, at: SimTime| consumer.estimated_rate(ComponentId(i as u32), at, nominal);
     let planned = array.write_estimated(w, write_at, cfg.chunk_blocks, &mut est);
+    // fslint: allow(panic-path) — run_plane asserts n >= 2 and returns exactly one view per node
     let degraded_consumer = &degraded.views[n - 1];
     let mut est_deg = |i: usize, at: SimTime| {
         degraded_consumer.estimated_rate(ComponentId(i as u32), at, nominal)

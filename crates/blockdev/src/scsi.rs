@@ -162,8 +162,10 @@ impl ScsiChain {
     /// Applies every error at or before `now`: SCSI timeouts and parity
     /// errors reset the bus, stalling all disks.
     fn advance(&mut self, now: SimTime) {
-        while self.applied < self.errors.len() && self.errors[self.applied].at <= now {
-            let e = self.errors[self.applied];
+        while let Some(&e) = self.errors.get(self.applied) {
+            if e.at > now {
+                break;
+            }
             self.applied += 1;
             match e.kind {
                 ErrorKind::ScsiTimeout => self.census.scsi_timeout += 1,

@@ -57,19 +57,19 @@ impl Tlb {
     /// translation is inserted, evicting a pseudo-randomly chosen way.
     pub fn reference(&mut self, vpn: Vpn) -> bool {
         let set = (vpn % self.sets as u64) as usize;
-        let base = set * self.ways as usize;
-        for w in 0..self.ways as usize {
-            if self.entries[base + w] == Some(vpn) {
-                self.hits += 1;
-                return true;
-            }
+        let ways = self.ways as usize;
+        let base = set * ways;
+        let row = &self.entries[base..base + ways];
+        if row.contains(&Some(vpn)) {
+            self.hits += 1;
+            return true;
         }
         self.misses += 1;
         // Prefer an invalid way; otherwise consult the hidden state.
-        let victim = (0..self.ways as usize)
-            .find(|&w| self.entries[base + w].is_none())
-            .unwrap_or_else(|| (self.step_lfsr() as usize) % self.ways as usize);
-        self.entries[base + victim] = Some(vpn);
+        let invalid = row.iter().position(Option::is_none);
+        let victim = invalid.unwrap_or_else(|| (self.step_lfsr() as usize) % ways);
+        let slot = base + victim;
+        self.entries[slot] = Some(vpn);
         false
     }
 

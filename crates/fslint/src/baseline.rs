@@ -86,6 +86,28 @@ impl Baseline {
         BaselineDiff { new, stale }
     }
 
+    /// A copy of this baseline with the `stale` unused counts subtracted;
+    /// keys whose count reaches zero are dropped entirely. This is
+    /// `--prune-baseline`: re-recording only the debt that still exists,
+    /// without re-admitting anything new.
+    pub fn pruned(&self, stale: &[(String, String, u64)]) -> Baseline {
+        let mut entries = self.entries.clone();
+        for (rule, path, unused) in stale {
+            let key = (rule.clone(), path.clone());
+            let emptied = entries
+                .get_mut(&key)
+                .map(|c| {
+                    *c = c.saturating_sub(*unused);
+                    *c == 0
+                })
+                .unwrap_or(false);
+            if emptied {
+                entries.remove(&key);
+            }
+        }
+        Baseline { entries }
+    }
+
     /// Renders the baseline file.
     pub fn render(&self) -> String {
         let mut out = String::from("{\n  \"baseline\": [");
@@ -162,7 +184,7 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn ws(&mut self) {
-        while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+        while self.b.get(self.i).is_some_and(u8::is_ascii_whitespace) {
             self.i += 1;
         }
     }
@@ -308,6 +330,21 @@ mod tests {
         let diff = b.apply(vec![finding("panic-path", "crates/a.rs")]);
         assert!(diff.new.is_empty());
         assert_eq!(diff.stale, vec![("panic-path".into(), "crates/a.rs".into(), 1)]);
+    }
+
+    #[test]
+    fn pruning_subtracts_stale_counts_and_drops_empty_keys() {
+        let b = Baseline::from_findings(&[
+            finding("panic-path", "crates/a.rs"),
+            finding("panic-path", "crates/a.rs"),
+            finding("float-total-order", "crates/b.rs"),
+        ]);
+        // One of the two a.rs findings is fixed; b.rs is fully fixed.
+        let diff = b.apply(vec![finding("panic-path", "crates/a.rs")]);
+        let pruned = b.pruned(&diff.stale);
+        assert_eq!(pruned.len(), 1, "{pruned:?}");
+        assert!(pruned.apply(vec![finding("panic-path", "crates/a.rs")]).new.is_empty());
+        assert_eq!(pruned.apply(vec![finding("float-total-order", "crates/b.rs")]).new.len(), 1);
     }
 
     #[test]

@@ -1,18 +1,24 @@
 //! `fs-lint` — the tier-0 determinism gate (see the `fslint` crate docs).
 //!
 //! ```text
-//! fs-lint [--root DIR] [--json] [--out FILE] [--allow RULE]...
-//!         [--baseline FILE | --write-baseline FILE] [--list-rules] [FILE...]
+//! fs-lint [--root DIR] [--json] [--out FILE] [--graph-out FILE]
+//!         [--allow RULE]... [--scope-fallback]
+//!         [--baseline FILE [--prune-baseline] | --write-baseline FILE]
+//!         [--list-rules] [FILE...]
 //! ```
 //!
 //! With no `FILE` arguments the whole workspace under `--root` (default:
 //! the current directory) is scanned. `--out` always writes the JSON
 //! report to the given file (for CI artifacts) in addition to the chosen
-//! stdout format. `--write-baseline` records the findings of this run as
-//! accepted debt and exits 0; `--baseline` fails only on findings beyond
-//! that recorded debt and reports fixed-but-still-listed entries as stale
-//! (see the crate's `baseline` module docs). Exit status: 0 clean,
-//! 1 findings, 2 usage error.
+//! stdout format; `--graph-out` writes the workspace call graph the
+//! scoping was derived from. `--write-baseline` records the findings of
+//! this run as accepted debt and exits 0; `--baseline` fails only on
+//! findings beyond that recorded debt and reports fixed-but-still-listed
+//! entries as stale, and `--prune-baseline` rewrites the baseline file
+//! with those stale entries dropped (see the crate's `baseline` module
+//! docs). `--scope-fallback` forces the pre-v3 path-list scoping for the
+//! semantic rules (transitional; will be removed next release). Exit
+//! status: 0 clean, 1 findings, 2 usage error.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,6 +36,8 @@ fn main() -> ExitCode {
     let mut files: Vec<PathBuf> = Vec::new();
     let mut baseline_file: Option<PathBuf> = None;
     let mut write_baseline: Option<PathBuf> = None;
+    let mut prune_baseline = false;
+    let mut graph_out: Option<PathBuf> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -60,6 +68,13 @@ fn main() -> ExitCode {
                 };
                 write_baseline = Some(PathBuf::from(v));
             }
+            "--prune-baseline" => prune_baseline = true,
+            "--graph-out" => {
+                let Some(v) = args.next() else { return usage("--graph-out needs a value") };
+                cfg.graph_json = true;
+                graph_out = Some(PathBuf::from(v));
+            }
+            "--scope-fallback" => cfg.scope_fallback = true,
             "--list-rules" => {
                 for r in fslint::RULES {
                     println!("{:<26} {}", r.id, r.summary);
@@ -69,8 +84,10 @@ fn main() -> ExitCode {
             "-h" | "--help" => {
                 println!(
                     "fs-lint: workspace determinism auditor\n\n\
-                     usage: fs-lint [--root DIR] [--json] [--out FILE] [--allow RULE]... \
-                     [--baseline FILE | --write-baseline FILE] [--list-rules] [FILE...]"
+                     usage: fs-lint [--root DIR] [--json] [--out FILE] [--graph-out FILE] \
+                     [--allow RULE]... [--scope-fallback] \
+                     [--baseline FILE [--prune-baseline] | --write-baseline FILE] \
+                     [--list-rules] [FILE...]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -82,12 +99,22 @@ fn main() -> ExitCode {
     if baseline_file.is_some() && write_baseline.is_some() {
         return usage("--baseline and --write-baseline are mutually exclusive");
     }
+    if prune_baseline && baseline_file.is_none() {
+        return usage("--prune-baseline needs --baseline FILE");
+    }
 
     let mut report = if files.is_empty() {
         engine::lint_workspace(&root, &cfg)
     } else {
         engine::lint_paths(&root, &files, &cfg)
     };
+
+    if let (Some(path), Some(doc)) = (&graph_out, &report.graph_json) {
+        if let Err(e) = std::fs::write(path, doc) {
+            eprintln!("fs-lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
 
     if let Some(path) = write_baseline {
         let b = Baseline::from_findings(&report.findings);
@@ -121,11 +148,26 @@ fn main() -> ExitCode {
             }
         };
         let diff = b.apply(std::mem::take(&mut report.findings));
-        for (rule, path, unused) in &diff.stale {
+        if prune_baseline && !diff.stale.is_empty() {
+            let pruned = b.pruned(&diff.stale);
+            if let Err(e) = std::fs::write(path, pruned.render()) {
+                eprintln!("fs-lint: cannot write {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
             eprintln!(
-                "fs-lint: note: stale baseline entry {rule} at {path} \
-                 ({unused} finding(s) fixed) — re-run --write-baseline to shrink it"
+                "fs-lint: pruned {} stale entr{} from {} ({} key(s) remain)",
+                diff.stale.len(),
+                if diff.stale.len() == 1 { "y" } else { "ies" },
+                path.display(),
+                pruned.len()
             );
+        } else {
+            for (rule, path, unused) in &diff.stale {
+                eprintln!(
+                    "fs-lint: note: stale baseline entry {rule} at {path} \
+                     ({unused} finding(s) fixed) — re-run with --prune-baseline to drop it"
+                );
+            }
         }
         report.findings = diff.new;
     }
@@ -152,8 +194,9 @@ fn main() -> ExitCode {
 fn usage(msg: &str) -> ExitCode {
     eprintln!("fs-lint: {msg}");
     eprintln!(
-        "usage: fs-lint [--root DIR] [--json] [--out FILE] [--allow RULE]... \
-         [--baseline FILE | --write-baseline FILE] [FILE...]"
+        "usage: fs-lint [--root DIR] [--json] [--out FILE] [--graph-out FILE] \
+         [--allow RULE]... [--scope-fallback] \
+         [--baseline FILE [--prune-baseline] | --write-baseline FILE] [FILE...]"
     );
     ExitCode::from(2)
 }

@@ -1,14 +1,17 @@
 //! File discovery, orchestration, and report formatting.
 //!
-//! The engine walks `crates/`, `src/`, `tests/`, and `examples/` under the
-//! workspace root (skipping `vendor/`, build `target/`s, and lint-test
-//! `fixtures/` trees), lexes every `.rs` file, runs the single-file rules,
-//! pools `derive("…")` label sites for the cross-file uniqueness rule, and
-//! applies inline suppressions. Output is deterministic: files are visited
-//! in sorted order and findings are sorted by (path, line, rule).
+//! The engine runs in two phases. Phase one walks `crates/`, `src/`,
+//! `tests/`, and `examples/` under the workspace root (skipping `vendor/`,
+//! build `target/`s, and lint-test `fixtures/` trees) and lexes + parses
+//! every `.rs` file. Phase two builds the workspace call graph
+//! ([`crate::graph`]) over the whole set, then runs the per-file rules with
+//! graph-derived scopes, the whole-program rules (`oracle-coverage`,
+//! `dead-scenario`), and inline suppressions — reporting any suppression
+//! that no longer silences a finding as `suppression-stale`. Output is
+//! deterministic: files are visited in sorted order and findings are
+//! sorted by (path, line, rule).
 
-use crate::lexer;
-use crate::parse;
+use crate::graph::{FileScope, FileUnit, Graph};
 use crate::rules::{self, FileCtx, Finding, LabelSite};
 use crate::sem;
 use crate::suppress;
@@ -27,6 +30,11 @@ const SCAN_ROOTS: &[&str] = &["crates", "src", "tests", "examples"];
 pub struct Config {
     /// Rule ids disabled wholesale (from `--allow`).
     pub allow: BTreeSet<String>,
+    /// Force v2 path-list scoping instead of call-graph scoping
+    /// (`--scope-fallback`; transitional, one release).
+    pub scope_fallback: bool,
+    /// Export the call graph in the report (`--graph-out`).
+    pub graph_json: bool,
 }
 
 /// A completed lint run.
@@ -36,6 +44,8 @@ pub struct Report {
     pub findings: Vec<Finding>,
     /// Number of files lexed and checked.
     pub files_scanned: usize,
+    /// The call-graph JSON document, when [`Config::graph_json`] is set.
+    pub graph_json: Option<String>,
 }
 
 impl Report {
@@ -76,53 +86,78 @@ pub fn lint_workspace(root: &Path, cfg: &Config) -> Report {
     lint_paths(root, &collect_workspace_files(root), cfg)
 }
 
-/// Lints exactly `files` (cross-file rules run across this set), reporting
-/// paths relative to `root` where possible.
+/// Lints exactly `files` (cross-file and whole-program rules run across
+/// this set), reporting paths relative to `root` where possible.
 pub fn lint_paths(root: &Path, files: &[PathBuf], cfg: &Config) -> Report {
     let mut findings = Vec::new();
-    let mut sites: Vec<LabelSite> = Vec::new();
-    let mut per_file: Vec<(String, suppress::Scan, Vec<Finding>)> = Vec::new();
 
+    // Phase one: read, lex, and parse every file.
+    let mut units: Vec<FileUnit> = Vec::new();
     for file in files {
         let rel = file.strip_prefix(root).unwrap_or(file);
         let path = rel.to_string_lossy().replace('\\', "/");
-        let source = match fs::read_to_string(file) {
-            Ok(s) => s,
-            Err(e) => {
-                findings.push(Finding {
-                    path,
-                    line: 0,
-                    rule: rules::id::MALFORMED_SUPPRESSION,
-                    message: format!("could not read file: {e}"),
-                });
-                continue;
-            }
-        };
-        let ctx = FileCtx { path: path.clone(), lexed: lexer::lex(&source) };
-        let mut file_findings = Vec::new();
-        rules::check_file(&ctx, &mut file_findings);
-        let model = parse::parse(&ctx.lexed);
-        sem::check_file(&ctx, &model, &mut file_findings);
-        sites.extend(rules::label_sites(&ctx));
-        per_file.push((path, suppress::scan(&ctx.lexed.comments), file_findings));
+        match fs::read_to_string(file) {
+            Ok(source) => units.push(FileUnit::new(path, &source)),
+            Err(e) => findings.push(Finding {
+                path,
+                line: 0,
+                rule: rules::id::MALFORMED_SUPPRESSION,
+                message: format!("could not read file: {e}"),
+            }),
+        }
     }
 
-    // The cross-file rule pools label sites from every scanned file, then
-    // routes each finding back through its own file's suppressions.
+    // Phase two: the call graph over the whole set. Scoping degrades to
+    // the v2 path lists when the set has no entry points (single-file
+    // runs, fixture subsets) or the user asked for the fallback.
+    let graph = Graph::build(&units);
+    let graph_mode = !cfg.scope_fallback && graph.has_entries();
+    let graph_json = cfg.graph_json.then(|| graph.render_json(&units));
+    let program_findings =
+        if graph_mode { graph.whole_program_findings(&units) } else { Vec::new() };
+
+    let mut sites: Vec<LabelSite> = Vec::new();
+    let mut per_file: Vec<(usize, suppress::Scan, Vec<Finding>)> = Vec::new();
+    for (i, u) in units.iter().enumerate() {
+        let ctx = FileCtx { path: u.path.clone(), lexed: &u.lexed };
+        let mut file_findings = Vec::new();
+        rules::check_file(&ctx, &mut file_findings);
+        let scope = if graph_mode { graph.scope_for(i) } else { FileScope::fallback(&u.path) };
+        sem::check_file(&ctx, &u.model, &scope, &mut file_findings);
+        sites.extend(rules::label_sites(&ctx));
+        per_file.push((i, suppress::scan(&u.lexed.comments), file_findings));
+    }
+
+    // Cross-file and whole-program findings are pooled over the full set,
+    // then routed back through their own file's suppressions.
     let mut label_findings = Vec::new();
     rules::check_unique_stream_labels(&sites, &mut label_findings);
-    for (path, scan, file_findings) in &mut per_file {
-        let mine: Vec<Finding> =
-            label_findings.iter().filter(|f| f.path == *path).cloned().collect();
-        file_findings.extend(mine);
-        let kept = suppress::apply(path, scan, std::mem::take(file_findings));
+    for (i, scan, file_findings) in &mut per_file {
+        let path = units[*i].path.as_str();
+        file_findings.extend(label_findings.iter().filter(|f| f.path == path).cloned());
+        file_findings.extend(program_findings.iter().filter(|f| f.path == path).cloned());
+        let (kept, used) = suppress::apply(path, scan, std::mem::take(file_findings));
         findings.extend(kept);
+        for (s, used) in scan.suppressions.iter().zip(used) {
+            if !used {
+                findings.push(Finding {
+                    path: path.to_string(),
+                    line: s.end_line,
+                    rule: rules::id::SUPPRESSION_STALE,
+                    message: format!(
+                        "suppression of `{}` no longer silences any finding — the invariant \
+                         it documented is machine-checked or gone; delete the comment",
+                        s.rules.join(", ")
+                    ),
+                });
+            }
+        }
     }
 
     findings.retain(|f| !cfg.allow.contains(f.rule));
     findings.sort();
     findings.dedup();
-    Report { findings, files_scanned: files.len() }
+    Report { findings, files_scanned: files.len(), graph_json }
 }
 
 /// Renders the report as line-oriented human output.
@@ -165,7 +200,7 @@ pub fn render_json(report: &Report) -> String {
 }
 
 /// Escapes a string for JSON output.
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -194,7 +229,7 @@ mod tests {
 
     #[test]
     fn empty_report_renders_empty_array() {
-        let r = Report { findings: Vec::new(), files_scanned: 3 };
+        let r = Report { findings: Vec::new(), files_scanned: 3, graph_json: None };
         let json = render_json(&r);
         assert!(json.contains("\"findings\": []"));
         assert!(json.contains("\"finding_count\": 0"));

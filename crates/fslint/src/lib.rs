@@ -25,14 +25,23 @@
 //! | `unique-stream-labels` | a `derive("…")` label never recurs in a second file |
 //! | `forbid-unsafe-everywhere` | crate roots carry `#![forbid(unsafe_code)]` + `#![warn(missing_docs)]`; no `unsafe` anywhere |
 //! | `golden-regen-note` | files pinning goldens say how to regenerate them |
-//! | `stable-tiebreak` | scheduling-path comparators carry a deterministic tiebreak beyond bare time or floats |
+//! | `stable-tiebreak` | scheduling-set comparators carry a deterministic tiebreak beyond bare time or floats |
 //! | `float-total-order` | float orderings use `total_cmp`, not `partial_cmp().unwrap()` or NaN-absorbing folds |
-//! | `panic-path` | no `unwrap`/`expect`/panic macros/computed indexing in injector-reachable library code |
+//! | `panic-path` | no `unwrap`/`expect`/panic macros/computed indexing in injector-reachable code |
+//! | `oracle-coverage` | every registered scenario class reaches an oracle module |
+//! | `dead-scenario` | no campaign code unreachable from the `fs-campaign` binary |
+//! | `suppression-stale` | no `fslint: allow(...)` comment that silences nothing |
 //!
-//! The last three run on a lightweight semantic model ([`parse`]) built over
-//! the lexer — function items, impl blocks, comparator closures, and
-//! per-function bound variables — and are scoped to the path sets defined in
-//! [`sem`].
+//! `stable-tiebreak` and `panic-path` run on a lightweight semantic model
+//! ([`parse`]) built over the lexer — function items, impl blocks,
+//! comparator closures, and per-function bound variables — and are scoped
+//! by a workspace call-graph reachability analysis ([`graph`] over
+//! [`resolve`]): `panic-path` fires on the injector-reachable fixpoint
+//! `R`, the full `stable-tiebreak` battery on the scheduling set `S`, and
+//! the v2 path lists survive only as the `--scope-fallback` escape hatch
+//! (one release). The whole-program rules (`oracle-coverage`,
+//! `dead-scenario`) walk the same graph from the campaign's dispatch
+//! roots; `--graph-out FILE` exports the graph a run used.
 //!
 //! ## Suppressions
 //!
@@ -66,6 +75,7 @@
 //! ```text
 //! fs-lint --write-baseline fslint-baseline.json   # record current findings
 //! fs-lint --baseline fslint-baseline.json         # fail only on NEW findings
+//! fs-lint --baseline fslint-baseline.json --prune-baseline  # drop stale debt
 //! ```
 
 #![forbid(unsafe_code)]
@@ -73,8 +83,10 @@
 
 pub mod baseline;
 pub mod engine;
+pub mod graph;
 pub mod lexer;
 pub mod parse;
+pub mod resolve;
 pub mod rules;
 pub mod sem;
 pub mod suppress;

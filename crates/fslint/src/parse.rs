@@ -11,9 +11,20 @@
 //!   markers, `for`-loop variables, closure parameters, and a per-function
 //!   set of float-typed locals (`let x: f64`, float literals, `as f64`);
 //! * `impl Ord for T` / `impl PartialOrd for T` blocks;
+//! * *every* `impl` block (inherent or trait) with its type and trait
+//!   names, so the call graph ([`crate::graph`]) can attach methods to
+//!   their owners;
 //! * method calls `.name(args)` — including turbofish forms
 //!   `.collect::<Vec<_>>()` — with balanced argument spans and the method
 //!   chained immediately after the call, if any;
+//! * free-function calls and qualified path references
+//!   (`helper(x)`, `beta::helper(x)`, `Fnv64::new()`, `catalog::all`) with
+//!   their qualifier segments, for call-graph edges;
+//! * `struct` definitions with their body spans (the graph uses these to
+//!   find `BinaryHeap` fields);
+//! * `use`/`pub use` declarations, flattened to one item per imported
+//!   name (groups and globs included), for module resolution
+//!   ([`crate::resolve`]);
 //! * macro invocations `name!(…)`;
 //! * index expressions `recv[idx]` (attributes, slice types, and array
 //!   literals are not index expressions and never match);
@@ -93,6 +104,66 @@ pub struct MethodCall {
     pub chained: Option<String>,
 }
 
+/// One `impl` block, inherent (`impl T { … }`) or trait
+/// (`impl Trait for T { … }`).
+#[derive(Debug)]
+pub struct ImplBlock {
+    /// The implemented trait's last path segment, `None` for inherent impls.
+    pub trait_name: Option<String>,
+    /// The implementing type's name (last path segment).
+    pub type_name: String,
+    /// 1-based line of the `impl` keyword.
+    pub line: u32,
+    /// Token span `[start, end]` of the impl body, braces included.
+    pub body: (usize, usize),
+}
+
+/// One free-function call (`helper(x)`, `beta::helper(x)`) or qualified
+/// path reference (`catalog::all` passed as a value, `Kind::Raid`).
+#[derive(Debug)]
+pub struct FreeCall {
+    /// Path segments before the final name (`beta::helper` → `["beta"]`).
+    /// May start with `crate`, `self`, `super`, or `Self`.
+    pub qual: Vec<String>,
+    /// The final path segment: the called or referenced name.
+    pub name: String,
+    /// 1-based line of the name token.
+    pub line: u32,
+    /// Token index of the name token.
+    pub tok: usize,
+    /// True when an argument list follows (a call, not a bare reference).
+    pub called: bool,
+}
+
+/// One `struct` definition with its body span (fields or tuple elements).
+#[derive(Debug)]
+pub struct StructDef {
+    /// The struct's name.
+    pub name: String,
+    /// 1-based line of the `struct` keyword.
+    pub line: u32,
+    /// Token span `[start, end]` of the `{…}`/`(…)` body, delimiters
+    /// included. Unit structs are not recorded.
+    pub body: (usize, usize),
+}
+
+/// One flattened `use` item: groups (`use a::{b, c}`) and globs expand to
+/// one [`UseDecl`] per imported name.
+#[derive(Debug)]
+pub struct UseDecl {
+    /// Full path segments as written (`use a::b::C` → `["a", "b", "C"]`).
+    pub segs: Vec<String>,
+    /// The `as` rename, if any; otherwise the last segment is the visible
+    /// name.
+    pub alias: Option<String>,
+    /// True for `use a::b::*`.
+    pub glob: bool,
+    /// True for `pub use` / `pub(crate) use` re-exports.
+    pub is_pub: bool,
+    /// 1-based line of the item.
+    pub line: u32,
+}
+
 /// One `name!(…)` macro invocation.
 #[derive(Debug)]
 pub struct MacroCall {
@@ -129,6 +200,14 @@ pub struct FileModel {
     pub fns: Vec<FnItem>,
     /// Every `impl Ord`/`impl PartialOrd` block.
     pub ord_impls: Vec<OrdImpl>,
+    /// Every `impl` block, inherent or trait.
+    pub impls: Vec<ImplBlock>,
+    /// Every free-function call and qualified path reference.
+    pub free_calls: Vec<FreeCall>,
+    /// Every `struct` definition with a body.
+    pub structs: Vec<StructDef>,
+    /// Every flattened `use` item.
+    pub uses: Vec<UseDecl>,
     /// Every method call.
     pub calls: Vec<MethodCall>,
     /// Every macro invocation.
@@ -149,10 +228,30 @@ impl FileModel {
 
     /// The innermost `fn` whose body contains token index `i`.
     pub fn enclosing_fn(&self, i: usize) -> Option<&FnItem> {
+        self.enclosing_fn_idx(i).map(|k| &self.fns[k])
+    }
+
+    /// Index into [`fns`](Self::fns) of the innermost `fn` whose body
+    /// contains token index `i`.
+    pub fn enclosing_fn_idx(&self, i: usize) -> Option<usize> {
         self.fns
             .iter()
-            .filter(|f| i >= f.body.0 && i <= f.body.1)
-            .min_by_key(|f| f.body.1 - f.body.0)
+            .enumerate()
+            .filter(|(_, f)| i >= f.body.0 && i <= f.body.1)
+            .min_by_key(|(_, f)| f.body.1 - f.body.0)
+            .map(|(k, _)| k)
+    }
+
+    /// Index into [`impls`](Self::impls) of the innermost impl block whose
+    /// body strictly contains the fn body span `body` (the impl's braces
+    /// enclose a method's, so strict containment rejects the impl itself).
+    pub fn owning_impl(&self, body: (usize, usize)) -> Option<usize> {
+        self.impls
+            .iter()
+            .enumerate()
+            .filter(|(_, im)| body.0 > im.body.0 && body.1 < im.body.1)
+            .min_by_key(|(_, im)| im.body.1 - im.body.0)
+            .map(|(k, _)| k)
     }
 }
 
@@ -222,6 +321,10 @@ pub fn parse(lexed: &Lexed) -> FileModel {
     collect_test_spans(toks, &mut model);
     collect_fns(toks, &mut model);
     collect_ord_impls(toks, &mut model);
+    collect_impls(toks, &mut model);
+    collect_structs(toks, &mut model);
+    let use_spans = collect_uses(toks, &mut model);
+    collect_free_calls(toks, &use_spans, &mut model);
 
     let mut i = 0usize;
     while i < toks.len() {
@@ -645,6 +748,321 @@ fn collect_ord_impls(toks: &[Token], model: &mut FileModel) {
     }
 }
 
+/// True if the token before `i` puts `i` at item position: start of file,
+/// after `;`/`}`/`{`, after an attribute's `]`, or after a visibility /
+/// item qualifier keyword. Rejects `-> impl Trait` return types and
+/// `x: impl Fn()` argument positions.
+fn at_item_position(toks: &[Token], i: usize) -> bool {
+    let Some(k) = i.checked_sub(1) else { return true };
+    let prev = &toks[k];
+    match prev.kind {
+        TokKind::Punct => matches!(prev.text.as_str(), ";" | "}" | "{" | "]" | ")"),
+        TokKind::Ident => matches!(prev.text.as_str(), "pub" | "unsafe" | "const" | "default"),
+        _ => false,
+    }
+}
+
+/// Reads a type/trait path at `j` (`a::b::C`, optional trailing generics),
+/// returning the final segment and the index just past it.
+fn read_path(toks: &[Token], mut j: usize) -> Option<(String, usize)> {
+    let t = toks.get(j)?;
+    if t.kind != TokKind::Ident || (is_keyword(&t.text) && t.text != "Self") {
+        return None;
+    }
+    let mut last = t.text.clone();
+    j += 1;
+    while punct_at(toks, j, ':')
+        && punct_at(toks, j + 1, ':')
+        && toks.get(j + 2).is_some_and(|t| t.kind == TokKind::Ident)
+    {
+        last = toks[j + 2].text.clone();
+        j += 3;
+    }
+    if punct_at(toks, j, '<') {
+        let close = skip_angles(toks, j);
+        if close > j {
+            j = close + 1;
+        }
+    }
+    Some((last, j))
+}
+
+/// Records every `impl` block (inherent or trait) at item position.
+fn collect_impls(toks: &[Token], model: &mut FileModel) {
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !toks[i].is_ident("impl") || !at_item_position(toks, i) {
+            i += 1;
+            continue;
+        }
+        let line = toks[i].line;
+        let mut j = i + 1;
+        if punct_at(toks, j, '<') {
+            let close = skip_angles(toks, j);
+            if close == j {
+                i += 1;
+                continue;
+            }
+            j = close + 1;
+        }
+        let Some((first, after)) = read_path(toks, j) else {
+            i = j.max(i + 1);
+            continue;
+        };
+        j = after;
+        let (trait_name, type_name) = if toks.get(j).is_some_and(|t| t.is_ident("for")) {
+            j += 1;
+            // Skip reference/dyn sigils on the implementing type.
+            while toks.get(j).is_some_and(|t| {
+                t.is_punct('&')
+                    || t.is_ident("dyn")
+                    || t.is_ident("mut")
+                    || t.kind == TokKind::Lifetime
+            }) {
+                j += 1;
+            }
+            let Some((ty, after)) = read_path(toks, j) else {
+                i = j.max(i + 1);
+                continue;
+            };
+            j = after;
+            (Some(first), ty)
+        } else {
+            (None, first)
+        };
+        // Scan across any `where` clause (it contains no braces) to the body.
+        while j < toks.len() && !punct_at(toks, j, '{') && !punct_at(toks, j, ';') {
+            j += 1;
+        }
+        if punct_at(toks, j, '{') {
+            let close = match_delim(toks, j);
+            model.impls.push(ImplBlock { trait_name, type_name, line, body: (j, close) });
+        }
+        i = j + 1;
+    }
+}
+
+/// Records every `struct` definition that has a body (`{…}` or `(…)`).
+fn collect_structs(toks: &[Token], model: &mut FileModel) {
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !toks[i].is_ident("struct") || !toks.get(i + 1).is_some_and(|t| t.kind == TokKind::Ident)
+        {
+            i += 1;
+            continue;
+        }
+        let name = toks[i + 1].text.clone();
+        let line = toks[i].line;
+        let mut j = i + 2;
+        if punct_at(toks, j, '<') {
+            let close = skip_angles(toks, j);
+            if close == j {
+                i += 2;
+                continue;
+            }
+            j = close + 1;
+        }
+        // Tuple struct body is immediate; a `where` clause may precede `{`.
+        if !punct_at(toks, j, '(') {
+            while j < toks.len() && !punct_at(toks, j, '{') && !punct_at(toks, j, ';') {
+                j += 1;
+            }
+        }
+        if punct_at(toks, j, '{') || punct_at(toks, j, '(') {
+            model.structs.push(StructDef { name, line, body: (j, match_delim(toks, j)) });
+        }
+        i = j + 1;
+    }
+}
+
+/// Records every `use` item (flattened) and returns their token spans so
+/// the free-call collector can skip the paths inside them.
+fn collect_uses(toks: &[Token], model: &mut FileModel) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !toks[i].is_ident("use") || !at_item_position_for_use(toks, i) {
+            i += 1;
+            continue;
+        }
+        let is_pub = use_is_pub(toks, i);
+        let line = toks[i].line;
+        let end = use_tree(toks, i + 1, &[], is_pub, line, &mut model.uses);
+        spans.push((i, end));
+        i = end.max(i + 1);
+    }
+    spans
+}
+
+/// Like [`at_item_position`], for `use` (also valid right after `pub(…)`).
+fn at_item_position_for_use(toks: &[Token], i: usize) -> bool {
+    let Some(k) = i.checked_sub(1) else { return true };
+    let prev = &toks[k];
+    match prev.kind {
+        TokKind::Punct => matches!(prev.text.as_str(), ";" | "}" | "{" | "]" | ")"),
+        TokKind::Ident => prev.text == "pub",
+        _ => false,
+    }
+}
+
+/// True when the `use` at `i` is a `pub use` / `pub(crate) use` re-export.
+fn use_is_pub(toks: &[Token], i: usize) -> bool {
+    let Some(mut k) = i.checked_sub(1) else { return false };
+    if toks[k].is_punct(')') {
+        // Walk back over the `(crate)`/`(super)` restriction.
+        let mut depth = 0i32;
+        loop {
+            if toks[k].is_punct(')') {
+                depth += 1;
+            } else if toks[k].is_punct('(') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            let Some(prev) = k.checked_sub(1) else { return false };
+            k = prev;
+        }
+        let Some(prev) = k.checked_sub(1) else { return false };
+        k = prev;
+    }
+    toks[k].is_ident("pub")
+}
+
+/// Parses one use tree at `j` with `prefix` segments already read; emits
+/// flattened [`UseDecl`]s and returns the index just past the tree.
+fn use_tree(
+    toks: &[Token],
+    mut j: usize,
+    prefix: &[String],
+    is_pub: bool,
+    line: u32,
+    out: &mut Vec<UseDecl>,
+) -> usize {
+    let mut segs = prefix.to_vec();
+    loop {
+        match toks.get(j) {
+            Some(t) if t.kind == TokKind::Ident && t.text != "as" => {
+                segs.push(t.text.clone());
+                j += 1;
+                if punct_at(toks, j, ':') && punct_at(toks, j + 1, ':') {
+                    j += 2;
+                    continue;
+                }
+                break;
+            }
+            Some(t) if t.is_punct('{') => {
+                let close = match_delim(toks, j);
+                let mut k = j + 1;
+                while k < close {
+                    let next = use_tree(toks, k, &segs, is_pub, line, out);
+                    k = next.max(k + 1);
+                    if punct_at(toks, k, ',') {
+                        k += 1;
+                    } else {
+                        break;
+                    }
+                }
+                return close + 1;
+            }
+            Some(t) if t.is_punct('*') => {
+                out.push(UseDecl { segs, alias: None, glob: true, is_pub, line });
+                return j + 1;
+            }
+            _ => return j,
+        }
+    }
+    let alias = if toks.get(j).is_some_and(|t| t.is_ident("as")) {
+        let a = toks.get(j + 1).map(|t| t.text.clone());
+        j += 2;
+        a
+    } else {
+        None
+    };
+    if segs.len() > prefix.len() {
+        out.push(UseDecl { segs, alias, glob: false, is_pub, line });
+    }
+    j
+}
+
+/// Path heads that are keywords but still begin a callable path.
+fn is_path_head_keyword(word: &str) -> bool {
+    matches!(word, "crate" | "self" | "super" | "Self")
+}
+
+/// Records free-function calls and qualified path references. A chain
+/// `a::b::name(…)` is recorded once at its head; method names (preceded by
+/// `.`), definitions (preceded by `fn` etc.), macros (followed by `!`), and
+/// paths inside `use` items never match.
+fn collect_free_calls(toks: &[Token], use_spans: &[(usize, usize)], model: &mut FileModel) {
+    let in_use = |i: usize| use_spans.iter().any(|&(s, e)| i >= s && i <= e);
+    let mut i = 0usize;
+    while i < toks.len() {
+        let t = &toks[i];
+        let head_ok = t.kind == TokKind::Ident
+            && (!is_keyword(&t.text) || is_path_head_keyword(&t.text))
+            && !in_use(i);
+        if !head_ok {
+            i += 1;
+            continue;
+        }
+        // Not a path head if preceded by `.` (method), `::` (path interior),
+        // or an item-definition keyword.
+        if i > 0 {
+            let prev = &toks[i - 1];
+            let def_kw = matches!(
+                prev.text.as_str(),
+                "fn" | "mod" | "struct" | "enum" | "trait" | "use" | "impl" | "macro" | "type"
+            ) && prev.kind == TokKind::Ident;
+            if prev.is_punct('.')
+                || def_kw
+                || (prev.is_punct(':') && i > 1 && toks[i - 2].is_punct(':'))
+            {
+                i += 1;
+                continue;
+            }
+        }
+        // Read the full chain.
+        let mut segs = vec![t.text.clone()];
+        let mut j = i + 1;
+        let mut name_tok = i;
+        while punct_at(toks, j, ':')
+            && punct_at(toks, j + 1, ':')
+            && toks.get(j + 2).is_some_and(|t| t.kind == TokKind::Ident)
+        {
+            segs.push(toks[j + 2].text.clone());
+            name_tok = j + 2;
+            j += 3;
+        }
+        // `name::<T>(…)` — skip the turbofish before the argument check.
+        let mut k = j;
+        if punct_at(toks, k, ':') && punct_at(toks, k + 1, ':') && punct_at(toks, k + 2, '<') {
+            let close = skip_angles(toks, k + 2);
+            if close > k + 2 {
+                k = close + 1;
+            }
+        }
+        let called = punct_at(toks, k, '(');
+        if toks[i].is_ident("self") && segs.len() == 1 {
+            // Bare `self` is a receiver, never a call.
+            i = j;
+            continue;
+        }
+        if called || segs.len() > 1 {
+            if let Some(name) = segs.pop() {
+                model.free_calls.push(FreeCall {
+                    qual: segs,
+                    name,
+                    line: toks[name_tok].line,
+                    tok: name_tok,
+                    called,
+                });
+            }
+        }
+        i = j;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -772,5 +1190,96 @@ mod tests {
         let m = model("fn f() { panic!(\"boom\"); assert!(true); }");
         assert!(m.macros.iter().any(|c| c.name == "panic"));
         assert!(m.macros.iter().any(|c| c.name == "assert"));
+    }
+
+    #[test]
+    fn inherent_and_trait_impls_are_recorded() {
+        let m = model(
+            "impl Widget { fn new() -> Self { Widget } } \
+             impl fmt::Display for Widget<T> { fn fmt(&self) {} } \
+             impl<S: State> Simulation<S> { fn step(&mut self) {} }",
+        );
+        assert_eq!(m.impls.len(), 3, "{:?}", m.impls);
+        assert_eq!(m.impls[0].trait_name, None);
+        assert_eq!(m.impls[0].type_name, "Widget");
+        assert_eq!(m.impls[1].trait_name.as_deref(), Some("Display"));
+        assert_eq!(m.impls[1].type_name, "Widget");
+        assert_eq!(m.impls[2].trait_name, None);
+        assert_eq!(m.impls[2].type_name, "Simulation");
+    }
+
+    #[test]
+    fn return_position_impl_trait_is_not_an_impl_block() {
+        let m = model("fn f() -> impl Iterator<Item = u8> { it() } fn g(x: impl Fn()) { x() }");
+        assert!(m.impls.is_empty(), "{:?}", m.impls);
+    }
+
+    #[test]
+    fn methods_attach_to_their_impl_by_span() {
+        let m = model("fn free() {} impl W { fn method(&self) {} }");
+        let free = m.fns.iter().find(|f| f.name == "free").unwrap();
+        let method = m.fns.iter().find(|f| f.name == "method").unwrap();
+        assert_eq!(m.owning_impl(free.body), None);
+        let owner = m.owning_impl(method.body).map(|k| m.impls[k].type_name.as_str());
+        assert_eq!(owner, Some("W"));
+    }
+
+    #[test]
+    fn struct_bodies_are_recorded() {
+        let m = model("struct A { q: BinaryHeap<u8> } struct B(u8); struct C; struct D<T> where T: Ord { t: T }");
+        let names: Vec<&str> = m.structs.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["A", "B", "D"]);
+    }
+
+    #[test]
+    fn use_items_flatten_groups_globs_and_aliases() {
+        let m = model(
+            "use adapt::oracle as qoracle; pub use eng::dispatch; \
+             use std::collections::{BTreeMap, btree_map::Entry}; use crate::prelude::*;",
+        );
+        assert_eq!(m.uses.len(), 5, "{:?}", m.uses);
+        assert_eq!(m.uses[0].segs, vec!["adapt", "oracle"]);
+        assert_eq!(m.uses[0].alias.as_deref(), Some("qoracle"));
+        assert!(!m.uses[0].is_pub);
+        assert!(m.uses[1].is_pub);
+        assert_eq!(m.uses[1].segs, vec!["eng", "dispatch"]);
+        assert_eq!(m.uses[2].segs, vec!["std", "collections", "BTreeMap"]);
+        assert_eq!(m.uses[3].segs, vec!["std", "collections", "btree_map", "Entry"]);
+        assert!(m.uses[4].glob);
+        assert_eq!(m.uses[4].segs, vec!["crate", "prelude"]);
+    }
+
+    #[test]
+    fn free_calls_record_qualifiers_and_skip_methods_and_macros() {
+        let m = model(
+            "fn f() { helper(1); beta::helper(2); x.method(); vec![q::r()]; \
+             Fnv64::new(); crate::util::go::<u8>(3); assert!(ok()); }",
+        );
+        let by_name = |n: &str| m.free_calls.iter().filter(|c| c.name == n).collect::<Vec<_>>();
+        assert_eq!(by_name("helper").len(), 2);
+        assert_eq!(by_name("helper")[1].qual, vec!["beta"]);
+        assert!(by_name("method").is_empty(), "{:?}", m.free_calls);
+        assert_eq!(by_name("new")[0].qual, vec!["Fnv64"]);
+        assert_eq!(by_name("go")[0].qual, vec!["crate", "util"]);
+        assert!(by_name("go")[0].called);
+        assert_eq!(by_name("r")[0].qual, vec!["q"]);
+        assert!(by_name("ok")[0].called);
+    }
+
+    #[test]
+    fn bare_references_with_qualifiers_are_recorded_uncalled() {
+        let m = model("fn f() { v.sort_by(f64::total_cmp); go(catalog::all); }");
+        let r = m.free_calls.iter().find(|c| c.name == "total_cmp").unwrap();
+        assert!(!r.called);
+        assert_eq!(r.qual, vec!["f64"]);
+        let a = m.free_calls.iter().find(|c| c.name == "all").unwrap();
+        assert!(!a.called);
+    }
+
+    #[test]
+    fn use_paths_are_not_free_calls() {
+        let m = model("use a::b::c; fn f() { b2::c2(); }");
+        assert!(m.free_calls.iter().all(|c| c.name != "c"), "{:?}", m.free_calls);
+        assert!(m.free_calls.iter().any(|c| c.name == "c2"));
     }
 }

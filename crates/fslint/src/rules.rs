@@ -34,6 +34,15 @@ pub mod id {
     /// `unwrap`/`expect`/panicking macros/unbounded subscripts in
     /// injector-reachable library code.
     pub const PANIC_PATH: &str = "panic-path";
+    /// A registered injector/scenario class that reaches no oracle module
+    /// from the campaign dispatch (whole-program, call-graph based).
+    pub const ORACLE_COVERAGE: &str = "oracle-coverage";
+    /// Campaign code not reachable from the `fs-campaign` binary
+    /// (whole-program, call-graph based).
+    pub const DEAD_SCENARIO: &str = "dead-scenario";
+    /// A valid `fslint: allow(...)` suppression that no longer silences
+    /// any finding and should be deleted.
+    pub const SUPPRESSION_STALE: &str = "suppression-stale";
     /// An inline `allow(...)` suppression comment that is unparsable,
     /// names an unknown rule, or lacks the mandatory reason. Not allowable.
     pub const MALFORMED_SUPPRESSION: &str = "malformed-suppression";
@@ -81,8 +90,8 @@ pub const RULES: &[RuleInfo] = &[
     },
     RuleInfo {
         id: id::STABLE_TIEBREAK,
-        summary: "scheduling-path comparators (sort/min/max/Ord impls/BinaryHeap) must carry \
-                  a stable tiebreak key and never key on floats",
+        summary: "scheduling-set comparators (sort/min/max/Ord impls/BinaryHeap) must carry \
+                  a stable tiebreak key and never key on floats; scope is call-graph derived",
     },
     RuleInfo {
         id: id::FLOAT_TOTAL_ORDER,
@@ -91,8 +100,24 @@ pub const RULES: &[RuleInfo] = &[
     },
     RuleInfo {
         id: id::PANIC_PATH,
-        summary: "no unwrap/expect/panic!-family/unbounded subscripts in injector-reachable \
-                  library code (simcore, raidsim, perfplane, adapt, stutter)",
+        summary: "no unwrap/expect/panic!-family/unbounded subscripts in code reachable from \
+                  an injector/detector/scheduler entry point (call-graph fixpoint)",
+    },
+    RuleInfo {
+        id: id::ORACLE_COVERAGE,
+        summary: "every scenario class registered with the campaign dispatch must reach an \
+                  oracle module, and every catalog constructor must be wired into the \
+                  campaign binary",
+    },
+    RuleInfo {
+        id: id::DEAD_SCENARIO,
+        summary: "campaign code must be reachable from the fs-campaign binary — a dead \
+                  scenario cell looks covered but never runs",
+    },
+    RuleInfo {
+        id: id::SUPPRESSION_STALE,
+        summary: "a suppression comment that silences no finding any more must be deleted \
+                  (the invariant it documented is now machine-checked or gone)",
     },
     RuleInfo {
         id: id::MALFORMED_SUPPRESSION,
@@ -120,14 +145,14 @@ pub struct Finding {
 }
 
 /// One lexed file plus the path facts rules key on.
-pub struct FileCtx {
+pub struct FileCtx<'a> {
     /// Workspace-relative path, with `/` separators.
     pub path: String,
     /// Lexed tokens and comments.
-    pub lexed: Lexed,
+    pub lexed: &'a Lexed,
 }
 
-impl FileCtx {
+impl FileCtx<'_> {
     /// True for files under `crates/bench/` — the one place allowed to
     /// wall-time real executions.
     fn is_bench(&self) -> bool {
@@ -140,12 +165,12 @@ impl FileCtx {
     }
 }
 
-fn tok(ctx: &FileCtx, i: usize) -> Option<&Token> {
+fn tok<'a>(ctx: &'a FileCtx<'_>, i: usize) -> Option<&'a Token> {
     ctx.lexed.tokens.get(i)
 }
 
 /// True if tokens at `i` spell the path `a::b`.
-fn is_path_pair(ctx: &FileCtx, i: usize, a: &str, b: &str) -> bool {
+fn is_path_pair(ctx: &FileCtx<'_>, i: usize, a: &str, b: &str) -> bool {
     tok(ctx, i).is_some_and(|t| t.is_ident(a))
         && tok(ctx, i + 1).is_some_and(|t| t.is_punct(':'))
         && tok(ctx, i + 2).is_some_and(|t| t.is_punct(':'))
@@ -153,7 +178,7 @@ fn is_path_pair(ctx: &FileCtx, i: usize, a: &str, b: &str) -> bool {
 }
 
 /// Runs all single-file rules over one file.
-pub fn check_file(ctx: &FileCtx, findings: &mut Vec<Finding>) {
+pub fn check_file(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
     no_wall_clock(ctx, findings);
     no_unordered_collections(ctx, findings);
     no_ambient_rng(ctx, findings);
@@ -161,11 +186,17 @@ pub fn check_file(ctx: &FileCtx, findings: &mut Vec<Finding>) {
     golden_regen_note(ctx, findings);
 }
 
-fn push(findings: &mut Vec<Finding>, ctx: &FileCtx, line: u32, rule: &'static str, msg: String) {
+fn push(
+    findings: &mut Vec<Finding>,
+    ctx: &FileCtx<'_>,
+    line: u32,
+    rule: &'static str,
+    msg: String,
+) {
     findings.push(Finding { path: ctx.path.clone(), line, rule, message: msg });
 }
 
-fn no_wall_clock(ctx: &FileCtx, findings: &mut Vec<Finding>) {
+fn no_wall_clock(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
     if ctx.is_bench() {
         // crates/bench may wall-time real executions (Criterion-style);
         // everything it *simulates* still runs on SimTime.
@@ -197,7 +228,7 @@ fn no_wall_clock(ctx: &FileCtx, findings: &mut Vec<Finding>) {
     }
 }
 
-fn no_unordered_collections(ctx: &FileCtx, findings: &mut Vec<Finding>) {
+fn no_unordered_collections(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
     for t in &ctx.lexed.tokens {
         if t.kind != TokKind::Ident {
             continue;
@@ -221,7 +252,7 @@ fn no_unordered_collections(ctx: &FileCtx, findings: &mut Vec<Finding>) {
     }
 }
 
-fn no_ambient_rng(ctx: &FileCtx, findings: &mut Vec<Finding>) {
+fn no_ambient_rng(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
     for (i, t) in ctx.lexed.tokens.iter().enumerate() {
         if t.kind != TokKind::Ident {
             continue;
@@ -248,7 +279,7 @@ fn no_ambient_rng(ctx: &FileCtx, findings: &mut Vec<Finding>) {
     }
 }
 
-fn forbid_unsafe_everywhere(ctx: &FileCtx, findings: &mut Vec<Finding>) {
+fn forbid_unsafe_everywhere(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
     for (i, t) in ctx.lexed.tokens.iter().enumerate() {
         if t.is_ident("unsafe") {
             // Attribute mentions like `forbid(unsafe_code)` lex as the
@@ -284,7 +315,7 @@ fn forbid_unsafe_everywhere(ctx: &FileCtx, findings: &mut Vec<Finding>) {
     }
 }
 
-fn golden_regen_note(ctx: &FileCtx, findings: &mut Vec<Finding>) {
+fn golden_regen_note(ctx: &FileCtx<'_>, findings: &mut Vec<Finding>) {
     // Only *declarations* pin a golden: `const GOLDEN_…`, `fn golden_…`.
     // A mere use of an imported golden name is some other file's problem.
     let toks = &ctx.lexed.tokens;
@@ -331,7 +362,7 @@ pub struct LabelSite {
 /// `derive_index(i)` build labels dynamically and are out of scope. The
 /// attribute form `#[derive(Clone)]` never matches because its argument is
 /// an identifier, not a string literal.
-pub fn label_sites(ctx: &FileCtx) -> Vec<LabelSite> {
+pub fn label_sites(ctx: &FileCtx<'_>) -> Vec<LabelSite> {
     let toks = &ctx.lexed.tokens;
     let mut out = Vec::new();
     for i in 0..toks.len() {

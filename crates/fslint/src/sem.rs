@@ -7,22 +7,30 @@
 //! determinism hazard in the event queue; the same `unwrap` is fine in a
 //! test and an unscheduled fail-stop in injector-reachable code.
 //!
-//! ## Path scopes
+//! ## Scopes
 //!
-//! * **Scheduling paths** (`stable-tiebreak`): code that decides *what runs
-//!   next* — `crates/simcore/src/` (the event loop and its primitives), the
-//!   netsim queueing files (`link.rs`, `switch.rs`, `mesh.rs`,
-//!   `wormhole.rs`), `crates/blockdev/src/sched.rs`,
-//!   `crates/perfplane/src/gossip.rs`, and the campaign
-//!   `runner.rs`. Matching is by substring so fixture trees can opt in by
-//!   mirroring the path shape.
-//! * **Injector-reachable library code** (`panic-path`): the non-test
-//!   `src/` trees of `simcore`, `raidsim`, `perfplane`, `adapt`, and
-//!   `stutter` — everything a fault injector can drive. Test modules are
-//!   exempt: a test that panics is a test that fails, which is the point.
+//! Where each rule applies is decided by a [`crate::graph::FileScope`],
+//! which the engine derives from the workspace call graph
+//! ([`crate::graph`]) — the v2 hardcoded path lists are gone:
+//!
+//! * **Scheduling set `S`** (`stable-tiebreak`, full battery): functions
+//!   that own or drive an event queue, per the call graph. In the rest of
+//!   the injector-reachable set only the *weak* check runs — a key closure
+//!   that is literally a bare time field (`|e| e.at`) — because a
+//!   single-key selection in ordinary model code is not a scheduling
+//!   hazard. `Ord` impls are in scope when their type is a `BinaryHeap`
+//!   element anywhere in the workspace; heap declarations are always in
+//!   scope (every `BinaryHeap` is scheduling infrastructure).
+//! * **Injector-reachable set `R`** (`panic-path`): the fixpoint from the
+//!   injector/detector/scheduler entry points. Test modules are exempt: a
+//!   test that panics is a test that fails, which is the point.
 //! * **Digest-feeding code** (`float-total-order`): everywhere. Every float
 //!   in this workspace is either model state or a measurement, and both
 //!   end up in goldens or the campaign digest.
+//!
+//! When the scanned set has no entry points (single-file runs, fixtures) —
+//! or under `--scope-fallback` — the engine passes a path-list fallback
+//! scope instead ([`crate::graph::FileScope::fallback`]).
 //!
 //! ## Documented exemptions
 //!
@@ -39,6 +47,7 @@
 //! an arithmetic or state claim an injected fault can falsify, and must be
 //! handled or carry a written `fslint: allow(panic-path)` reason.
 
+use crate::graph::FileScope;
 use crate::lexer::{TokKind, Token};
 use crate::parse::{self, FileModel, MethodCall};
 use crate::rules::{id, FileCtx, Finding};
@@ -48,49 +57,25 @@ use crate::rules::{id, FileCtx, Finding};
 /// order.
 const TIME_KEYS: &[&str] = &["at", "time", "when", "deadline", "arrival", "start", "finish", "t"];
 
-/// Files/directories whose code decides scheduling order (substring match).
-const SCHEDULING_PATHS: &[&str] = &[
-    "crates/simcore/src/",
-    "crates/netsim/src/link.rs",
-    "crates/netsim/src/switch.rs",
-    "crates/netsim/src/mesh.rs",
-    "crates/netsim/src/wormhole.rs",
-    "crates/blockdev/src/sched.rs",
-    "crates/perfplane/src/gossip.rs",
-    "crates/bench/src/campaign/runner.rs",
-];
-
-/// Library trees a fault injector can reach (substring match).
-const INJECTOR_REACHABLE: &[&str] = &[
-    "crates/simcore/src/",
-    "crates/raidsim/src/",
-    "crates/perfplane/src/",
-    "crates/adapt/src/",
-    "crates/stutter/src/",
-];
-
-/// True for files on a scheduling path (see module docs).
-pub fn is_scheduling_path(path: &str) -> bool {
-    SCHEDULING_PATHS.iter().any(|p| path.contains(p))
-}
-
-/// True for injector-reachable library code (see module docs).
-pub fn is_injector_reachable(path: &str) -> bool {
-    INJECTOR_REACHABLE.iter().any(|p| path.contains(p))
-}
-
-/// Runs the three semantic rules over one parsed file.
-pub fn check_file(ctx: &FileCtx, model: &FileModel, findings: &mut Vec<Finding>) {
+/// Runs the three semantic rules over one parsed file under `scope`.
+pub fn check_file(
+    ctx: &FileCtx<'_>,
+    model: &FileModel,
+    scope: &FileScope,
+    findings: &mut Vec<Finding>,
+) {
     float_total_order(ctx, model, findings);
-    if is_scheduling_path(&ctx.path) {
-        stable_tiebreak(ctx, model, findings);
-    }
-    if is_injector_reachable(&ctx.path) {
-        panic_path(ctx, model, findings);
-    }
+    stable_tiebreak(ctx, model, scope, findings);
+    panic_path(ctx, model, scope, findings);
 }
 
-fn push(findings: &mut Vec<Finding>, ctx: &FileCtx, line: u32, rule: &'static str, msg: String) {
+fn push(
+    findings: &mut Vec<Finding>,
+    ctx: &FileCtx<'_>,
+    line: u32,
+    rule: &'static str,
+    msg: String,
+) {
     findings.push(Finding { path: ctx.path.clone(), line, rule, message: msg });
 }
 
@@ -103,36 +88,62 @@ const KEYED: &[&str] = &["sort_by_key", "sort_unstable_by_key", "min_by_key", "m
 /// Sort/selection methods whose first argument is a *comparator* closure.
 const COMPARED: &[&str] = &["sort_by", "sort_unstable_by", "min_by", "max_by"];
 
-fn stable_tiebreak(ctx: &FileCtx, model: &FileModel, findings: &mut Vec<Finding>) {
+fn stable_tiebreak(
+    ctx: &FileCtx<'_>,
+    model: &FileModel,
+    scope: &FileScope,
+    findings: &mut Vec<Finding>,
+) {
     let toks = &ctx.lexed.tokens;
     for call in &model.calls {
         if KEYED.contains(&call.name.as_str()) {
             let Some(body) = closure_body(toks, call) else { continue };
-            if !is_tuple_expr(toks, body) {
+            if scope.in_sched(call.dot) {
+                if !is_tuple_expr(toks, body) {
+                    push(
+                        findings,
+                        ctx,
+                        call.line,
+                        id::STABLE_TIEBREAK,
+                        format!(
+                            "`{}` keys scheduling order on a single expression; equal keys fall \
+                             back to container/iterator order, which is insertion-order dependence \
+                             the campaign digest cannot localise — key on a tuple with a stable \
+                             secondary (sequence number, index, or label)",
+                            call.name
+                        ),
+                    );
+                } else if span_mentions_float(toks, body, model, call.dot) {
+                    push_float_key(findings, ctx, call.line, &call.name);
+                }
+            } else if scope.weak_tiebreak(call.dot) && bare_time_key(toks, body) {
                 push(
                     findings,
                     ctx,
                     call.line,
                     id::STABLE_TIEBREAK,
                     format!(
-                        "`{}` keys scheduling order on a single expression; equal keys fall \
-                         back to container/iterator order, which is insertion-order dependence \
-                         the campaign digest cannot localise — key on a tuple with a stable \
-                         secondary (sequence number, index, or label)",
+                        "`{}` in injector-reachable code keys on a bare time field; equal \
+                         times fall back to container order, which an injected stutter can \
+                         reorder — key on a (time, stable-secondary) tuple",
                         call.name
                     ),
                 );
-            } else if span_mentions_float(toks, body, model, call.dot) {
-                push_float_key(findings, ctx, call.line, &call.name);
             }
         } else if COMPARED.contains(&call.name.as_str()) {
+            if !scope.in_sched(call.dot) {
+                continue;
+            }
             let Some(body) = closure_body(toks, call) else { continue };
             check_comparator_body(ctx, model, toks, body, call.line, &call.name, findings);
         }
     }
-    // `impl Ord`/`impl PartialOrd` in scheduling files: the `cmp` body must
-    // not order on a bare time field.
+    // `impl Ord`/`impl PartialOrd` for heap-element types: the `cmp` body
+    // must not order on a bare time field.
     for im in &model.ord_impls {
+        if !scope.ord_in_scope(&im.type_name) {
+            continue;
+        }
         check_comparator_body(
             ctx,
             model,
@@ -145,6 +156,9 @@ fn stable_tiebreak(ctx: &FileCtx, model: &FileModel, findings: &mut Vec<Finding>
     }
     // A heap keyed on bare SimTime pops equal-time entries in heap order.
     for heap in &model.heaps {
+        if !scope.heap_in_scope(heap.angles.0) {
+            continue;
+        }
         let (open, close) = heap.angles;
         let mentions_time = toks[open..=close].iter().any(|t| t.is_ident("SimTime"));
         // Any comma in the element type means the time is paired with
@@ -168,7 +182,7 @@ fn stable_tiebreak(ctx: &FileCtx, model: &FileModel, findings: &mut Vec<Finding>
 /// Flags a comparator body (closure or `cmp` impl) that orders on a bare
 /// time field or on floats.
 fn check_comparator_body(
-    ctx: &FileCtx,
+    ctx: &FileCtx<'_>,
     model: &FileModel,
     toks: &[Token],
     body: (usize, usize),
@@ -217,7 +231,18 @@ fn check_comparator_body(
     }
 }
 
-fn push_float_key(findings: &mut Vec<Finding>, ctx: &FileCtx, line: u32, what: &str) {
+/// True when a key-closure body is a bare chain ending in a time name
+/// (`|e| e.at`, `|e| *e.start`) — the weak-scope tiebreak check.
+fn bare_time_key(toks: &[Token], (start, end): (usize, usize)) -> bool {
+    let plain_chain = toks[start..=end].iter().all(|t| match t.kind {
+        TokKind::Ident => true,
+        TokKind::Punct => matches!(t.text.as_str(), "." | "&" | "*"),
+        _ => false,
+    });
+    plain_chain && toks[end].kind == TokKind::Ident && TIME_KEYS.contains(&toks[end].text.as_str())
+}
+
+fn push_float_key(findings: &mut Vec<Finding>, ctx: &FileCtx<'_>, line: u32, what: &str) {
     push(
         findings,
         ctx,
@@ -235,7 +260,7 @@ fn push_float_key(findings: &mut Vec<Finding>, ctx: &FileCtx, line: u32, what: &
 // float-total-order
 // ---------------------------------------------------------------------------
 
-fn float_total_order(ctx: &FileCtx, model: &FileModel, findings: &mut Vec<Finding>) {
+fn float_total_order(ctx: &FileCtx<'_>, model: &FileModel, findings: &mut Vec<Finding>) {
     let toks = &ctx.lexed.tokens;
     for call in &model.calls {
         if call.name == "partial_cmp" {
@@ -294,12 +319,18 @@ fn float_total_order(ctx: &FileCtx, model: &FileModel, findings: &mut Vec<Findin
 /// see module docs).
 const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
 
-fn panic_path(ctx: &FileCtx, model: &FileModel, findings: &mut Vec<Finding>) {
+fn panic_path(
+    ctx: &FileCtx<'_>,
+    model: &FileModel,
+    scope: &FileScope,
+    findings: &mut Vec<Finding>,
+) {
     let toks = &ctx.lexed.tokens;
     let in_test =
         |i: usize| model.in_test_span(i) || model.enclosing_fn(i).is_some_and(|f| f.in_test);
+    let live = |i: usize| scope.in_reach(i) && !in_test(i);
     for call in &model.calls {
-        if matches!(call.name.as_str(), "unwrap" | "expect") && !in_test(call.dot) {
+        if matches!(call.name.as_str(), "unwrap" | "expect") && live(call.dot) {
             push(
                 findings,
                 ctx,
@@ -315,7 +346,7 @@ fn panic_path(ctx: &FileCtx, model: &FileModel, findings: &mut Vec<Finding>) {
         }
     }
     for mac in &model.macros {
-        if PANIC_MACROS.contains(&mac.name.as_str()) && !in_test(mac.tok) {
+        if PANIC_MACROS.contains(&mac.name.as_str()) && live(mac.tok) {
             push(
                 findings,
                 ctx,
@@ -332,7 +363,7 @@ fn panic_path(ctx: &FileCtx, model: &FileModel, findings: &mut Vec<Finding>) {
     }
     for ix in &model.indexings {
         let (open, close) = ix.brackets;
-        if close <= open + 1 || in_test(open) {
+        if close <= open + 1 || !live(open) {
             continue;
         }
         let inner = &toks[open + 1..close];
@@ -504,10 +535,13 @@ mod tests {
     use crate::lexer::lex;
 
     fn run(path: &str, src: &str) -> Vec<Finding> {
-        let ctx = FileCtx { path: path.to_string(), lexed: lex(src) };
-        let model = parse::parse(&ctx.lexed);
+        let lexed = lex(src);
+        let ctx = FileCtx { path: path.to_string(), lexed: &lexed };
+        let model = parse::parse(&lexed);
         let mut findings = Vec::new();
-        check_file(&ctx, &model, &mut findings);
+        // Single-file runs always use the path-list fallback scope; graph
+        // scoping is exercised end to end in tests/graph.rs.
+        check_file(&ctx, &model, &FileScope::fallback(path), &mut findings);
         findings
     }
 

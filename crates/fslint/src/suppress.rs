@@ -38,9 +38,16 @@ pub struct Scan {
 }
 
 /// Scans comments for suppression directives (the [`MARKER`] prefix).
+///
+/// Doc comments (`///`, `//!`, `/**`, `/*!` — their text keeps the extra
+/// `/`, `!`, or `*` prefix) are documentation, never directives: the crate
+/// docs *show* the suppression syntax without suppressing anything.
 pub fn scan(comments: &[Comment]) -> Scan {
     let mut out = Scan::default();
     for c in comments {
+        if matches!(c.text.chars().next(), Some('/' | '!' | '*')) {
+            continue;
+        }
         let Some(at) = c.text.find(MARKER) else { continue };
         let directive = c.text[at + MARKER.len()..].trim();
         match parse_allow(directive) {
@@ -99,16 +106,29 @@ fn parse_allow(directive: &str) -> Result<Vec<String>, String> {
 
 /// Drops findings covered by a valid suppression and appends
 /// `malformed-suppression` findings for invalid directives in `path`.
-pub fn apply(path: &str, scan: &Scan, findings: Vec<Finding>) -> Vec<Finding> {
-    let mut out: Vec<Finding> = findings
-        .into_iter()
-        .filter(|f| {
-            !scan.suppressions.iter().any(|s| {
-                (f.line == s.end_line || f.line == s.end_line + 1)
-                    && s.rules.iter().any(|r| r == f.rule)
-            })
-        })
-        .collect();
+///
+/// The second return value has one flag per [`Scan::suppressions`] entry:
+/// `true` when the suppression silenced at least one finding this run.
+/// Unused suppressions are the `suppression-stale` rule's input — a
+/// suppression that silences nothing documents an invariant that is now
+/// machine-checked or gone, and must be deleted.
+pub fn apply(path: &str, scan: &Scan, findings: Vec<Finding>) -> (Vec<Finding>, Vec<bool>) {
+    let mut used = vec![false; scan.suppressions.len()];
+    let mut out: Vec<Finding> = Vec::with_capacity(findings.len());
+    for f in findings {
+        let mut covered = false;
+        for (i, s) in scan.suppressions.iter().enumerate() {
+            if (f.line == s.end_line || f.line == s.end_line + 1)
+                && s.rules.iter().any(|r| r == f.rule)
+            {
+                covered = true;
+                used[i] = true;
+            }
+        }
+        if !covered {
+            out.push(f);
+        }
+    }
     for (line, why) in &scan.malformed {
         out.push(Finding {
             path: path.to_string(),
@@ -117,7 +137,7 @@ pub fn apply(path: &str, scan: &Scan, findings: Vec<Finding>) -> Vec<Finding> {
             message: why.clone(),
         });
     }
-    out
+    (out, used)
 }
 
 #[cfg(test)]

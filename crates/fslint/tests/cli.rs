@@ -137,6 +137,99 @@ fn fixed_baseline_entries_are_reported_stale_without_failing() {
 }
 
 #[test]
+fn prune_baseline_drops_stale_entries_and_reopens_the_gate() {
+    let dir = std::env::temp_dir().join("fslint-baseline-prune-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let baseline = dir.join("baseline.json");
+    let float_pos = fixture("sem/float_order_pos.rs");
+    let panic_pos = fixture("sem/crates/stutter/src/panic_pos.rs");
+
+    // Record both files' findings as accepted debt.
+    let out = run(&[
+        "--write-baseline",
+        baseline.to_str().unwrap(),
+        float_pos.to_str().unwrap(),
+        panic_pos.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+
+    // "Fix" the panic findings by dropping that file, pruning as we go:
+    // the gate stays green and the baseline is rewritten in place.
+    let out = run(&[
+        "--baseline",
+        baseline.to_str().unwrap(),
+        "--prune-baseline",
+        float_pos.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stdout));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("pruned"), "{err}");
+    let rewritten = std::fs::read_to_string(&baseline).unwrap();
+    assert!(!rewritten.contains("panic_pos.rs"), "stale key survived the prune:\n{rewritten}");
+    assert!(rewritten.contains("float_order_pos.rs"), "live key was lost:\n{rewritten}");
+
+    // A second baselined run is quiet: nothing stale remains to report.
+    let out = run(&["--baseline", baseline.to_str().unwrap(), float_pos.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(
+        !String::from_utf8_lossy(&out.stderr).contains("stale"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Reintroducing the file now fails the gate: the debt was truly
+    // dropped, not hidden.
+    let out = run(&[
+        "--baseline",
+        baseline.to_str().unwrap(),
+        float_pos.to_str().unwrap(),
+        panic_pos.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("panic-path"));
+}
+
+#[test]
+fn prune_baseline_without_baseline_is_a_usage_error() {
+    let out = run(&["--prune-baseline", fixture("wall_clock_neg.rs").to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn graph_out_writes_the_call_graph_even_when_the_gate_fails() {
+    let dir = std::env::temp_dir().join("fslint-graph-out-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let artifact = dir.join("graph.json");
+    let _ = std::fs::remove_file(&artifact);
+    let tree = fixture("graph/campaign");
+    let files: Vec<String> = [
+        "crates/bench/src/bin/fs-campaign.rs",
+        "crates/bench/src/lib.rs",
+        "crates/bench/src/campaign.rs",
+        "crates/bench/src/oracle.rs",
+        "crates/stutter/src/lib.rs",
+        "crates/stutter/src/catalog.rs",
+    ]
+    .iter()
+    .map(|f| tree.join(f).to_string_lossy().into_owned())
+    .collect();
+    let mut args = vec!["--graph-out", artifact.to_str().unwrap()];
+    args.extend(files.iter().map(String::as_str));
+    let out = run(&args);
+    // The campaign fixture carries deliberate oracle-coverage and
+    // dead-scenario findings, so the gate fails — but the artifact that
+    // explains them is still written.
+    assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stdout));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("oracle-coverage"), "{text}");
+    assert!(text.contains("dead-scenario"), "{text}");
+    let written = std::fs::read_to_string(&artifact).expect("graph artifact written");
+    assert!(written.contains("\"nodes\""), "{written}");
+    assert!(written.contains("\"run_scenario\""), "{written}");
+    assert!(written.contains("\"edges\""), "{written}");
+}
+
+#[test]
 fn bad_baseline_usage_is_a_usage_error() {
     let dir = std::env::temp_dir().join("fslint-baseline-bad-test");
     std::fs::create_dir_all(&dir).unwrap();

@@ -1,0 +1,7 @@
+//! Graph fixture: the campaign binary — the root of the `dead-scenario`
+//! and catalog-registration reachability checks.
+
+fn main() {
+    stutter::catalog::wired();
+    bench::campaign::run_scenario(1);
+}

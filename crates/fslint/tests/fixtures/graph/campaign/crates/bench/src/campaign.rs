@@ -1,0 +1,26 @@
+//! Graph fixture: one dispatcher routes through the oracle, one computes
+//! metrics no oracle ever checks, and one cell is wired into nothing.
+
+/// Scenario dispatch: the whole-program rules key off this name.
+pub fn run_scenario(kind: u64) -> u64 {
+    if kind == 0 {
+        run_checked()
+    } else {
+        run_unchecked()
+    }
+}
+
+/// Covered dispatcher: results flow through the oracle.
+fn run_checked() -> u64 {
+    u64::from(crate::oracle::verify(1))
+}
+
+/// Uncovered dispatcher: computes a metric, checks nothing.
+fn run_unchecked() -> u64 {
+    42
+}
+
+/// Dead cell: registered in no dispatch arm, unreachable from `main`.
+pub fn dead_cell() -> u64 {
+    7
+}

@@ -1,0 +1,6 @@
+//! Graph fixture: the campaign crate root.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+pub mod campaign;
+pub mod oracle;

@@ -1,0 +1,6 @@
+//! The oracle module the checked dispatcher reaches.
+
+/// Accepts a result when it is positive.
+pub fn verify(x: u64) -> bool {
+    x > 0
+}

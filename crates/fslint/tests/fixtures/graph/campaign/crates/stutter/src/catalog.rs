@@ -1,0 +1,12 @@
+//! Injector-constructor catalog: `orphan` is registered nowhere, so the
+//! class it builds would run through no oracle-checked scenario cell.
+
+/// Wired into the campaign binary.
+pub fn wired() -> u64 {
+    1
+}
+
+/// Registered in no scenario cell: `oracle-coverage` must flag it.
+pub fn orphan() -> u64 {
+    2
+}

@@ -1,0 +1,5 @@
+//! Graph fixture: the injector crate root.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+pub mod catalog;

@@ -1,0 +1,18 @@
+//! Graph fixture: a cross-crate call drags the callee crate into the
+//! reachable set.
+//!
+//! The `*Detector` naming convention makes `observe` an entry point; the
+//! qualified call into `beta` must resolve across the crate boundary so
+//! the `expect` there is flagged.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+/// The entry point: `*Detector` impls seed the reachability fixpoint.
+pub struct StallDetector;
+
+impl StallDetector {
+    /// Feeds one observation into the other crate's estimator.
+    pub fn observe(&self) -> u64 {
+        beta::model::estimate(3)
+    }
+}

@@ -1,0 +1,5 @@
+//! The callee crate of the cross-crate graph fixture.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+pub mod model;

@@ -1,0 +1,6 @@
+//! The estimator: panics on a zero sample count.
+
+/// Divides the budget by the sample count.
+pub fn estimate(n: u64) -> u64 {
+    u64::checked_div(10, n).expect("positive sample count")
+}

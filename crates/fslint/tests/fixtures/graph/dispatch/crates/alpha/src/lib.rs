@@ -1,0 +1,61 @@
+//! Graph fixture: by-name method dispatch covers inherent and trait
+//! impls, and code nobody calls stays out of the reachable set.
+//!
+//! `fire` calls `.step()`: name-based dispatch must pull in *both* the
+//! inherent `Worker::step` and the trait impl `<Clock as Tick>::step`
+//! (two findings), while `never_hit` — reachable only through the
+//! uncalled `Worker::idle` — must stay unflagged.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+/// The entry point: its methods seed the reachability fixpoint.
+pub struct Injector;
+
+impl Injector {
+    /// Steps one worker; dispatch target is unknowable statically.
+    pub fn fire(&self, w: &Worker) {
+        w.step();
+    }
+}
+
+/// A per-tick callback surface.
+pub trait Tick {
+    /// Advances one tick.
+    fn step(&self);
+}
+
+/// A worker with an inherent `step`.
+pub struct Worker;
+
+impl Worker {
+    /// Inherent method sharing the trait method's name.
+    pub fn step(&self) {
+        inherent_hit(&[]);
+    }
+
+    /// Never called from anywhere: its callee stays unreachable.
+    pub fn idle(&self) {
+        never_hit();
+    }
+}
+
+/// A clock whose `step` comes from the trait.
+pub struct Clock;
+
+impl Tick for Clock {
+    fn step(&self) {
+        trait_hit(0);
+    }
+}
+
+fn inherent_hit(v: &[u64]) -> u64 {
+    v.first().copied().unwrap()
+}
+
+fn trait_hit(x: u64) -> u64 {
+    x.checked_sub(1).expect("positive tick count")
+}
+
+fn never_hit() {
+    panic!("dead helper: no entry point reaches this");
+}

@@ -1,0 +1,6 @@
+//! The re-exported module: `dispatch` panics on overflow.
+
+/// Doubles `x`; panics when the doubling overflows.
+pub fn dispatch(x: u64) -> u64 {
+    x.checked_mul(2).unwrap()
+}

@@ -1,0 +1,20 @@
+//! Graph fixture: a panic behind a `pub use` re-export is reachable.
+//!
+//! `fire` calls `dispatch` through the crate-root re-export, so the
+//! resolver has to follow the `pub use` into `engine` before the panic
+//! there counts as injector-reachable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+pub mod engine;
+pub use engine::dispatch;
+
+/// The entry point: its methods seed the reachability fixpoint.
+pub struct Injector;
+
+impl Injector {
+    /// Drives the engine through the re-exported name.
+    pub fn fire(&self) -> u64 {
+        dispatch(7)
+    }
+}

@@ -1,0 +1,28 @@
+//! Graph negative fixture: a panic in code no entry point reaches is not
+//! a finding, even though an entry point exists (graph mode is active).
+//!
+//! Under the v2 path lists this distinction was impossible: scope was
+//! per-file, so `summarize`'s `expect` would have been judged by the
+//! file's path alone.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+/// The entry point: its methods seed the reachability fixpoint.
+pub struct Injector;
+
+impl Injector {
+    /// The only injected path; panic-free.
+    pub fn fire(&self) -> u64 {
+        checked(2)
+    }
+}
+
+fn checked(x: u64) -> u64 {
+    x.saturating_add(1)
+}
+
+/// Report-generation helper: called only by offline tooling, never from
+/// injected code, so its panic is out of scope.
+pub fn summarize(values: &[u64]) -> u64 {
+    values.iter().copied().max().expect("non-empty report")
+}

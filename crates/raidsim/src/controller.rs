@@ -347,7 +347,7 @@ impl Raid10 {
                 None => dead[i] = true, // write error: retire, re-queue the chunk
             }
         }
-        map.sort_by_key(|e| e.start);
+        map.sort_by_key(|e| (e.start, e.pair));
         Ok(self.outcome(w, finish - start, per_pair_blocks, Some(map)))
     }
 
@@ -397,7 +397,7 @@ impl Raid10 {
             map.push(MapEntry { start: next_block, len: chunk_len, pair: i });
             next_block += chunk_len;
         }
-        map.sort_by_key(|e| e.start);
+        map.sort_by_key(|e| (e.start, e.pair));
         Ok(self.outcome(w, finish - start, per_pair_blocks, Some(map)))
     }
 }

@@ -314,7 +314,6 @@ impl Zipf {
             acc += 1.0 / (k as f64).powf(s);
             cdf.push(acc);
         }
-        // fslint: allow(panic-path) — cdf holds n entries and n > 0 is asserted above
         let total = *cdf.last().expect("non-empty");
         for v in &mut cdf {
             *v /= total;

@@ -155,7 +155,6 @@ impl Stream {
     /// Panics if `slice` is empty.
     pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> &'a T {
         assert!(!slice.is_empty(), "cannot choose from an empty slice");
-        // fslint: allow(panic-path) — next_below(len) < len, and emptiness is asserted above
         &slice[self.next_below(slice.len() as u64) as usize]
     }
 }

@@ -380,7 +380,6 @@ impl Series {
         let stride = self.points.len().div_ceil(n);
         let mut points: Vec<(SimTime, f64)> = self.points.iter().step_by(stride).copied().collect();
         if points.last() != self.points.last() {
-            // fslint: allow(panic-path) — the early return leaves points.len() > n >= 1
             points.push(*self.points.last().expect("non-empty"));
         }
         Series { points }
