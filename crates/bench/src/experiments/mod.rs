@@ -8,6 +8,7 @@ pub mod ablations;
 pub mod cluster_exp;
 pub mod cpu;
 pub mod disks;
+pub mod engine;
 pub mod future_work;
 pub mod model_exp;
 pub mod network;
@@ -19,7 +20,7 @@ use crate::report::Report;
 /// A registered experiment.
 #[derive(Clone)]
 pub struct Experiment {
-    /// Stable identifier (`e01` ... `e34`).
+    /// Stable identifier (`e01` ... `e35`).
     pub id: &'static str,
     /// Stable kebab-case slug used for artifact filenames
     /// (`BENCH_<slug>.json`, CSV stems).
@@ -272,6 +273,13 @@ pub fn all() -> Vec<Experiment> {
             title: "Scenario 3bis: striping planned from the gossiped performance plane",
             source: "Section 3.2",
             run: plane::e34_perfplane,
+        },
+        Experiment {
+            id: "e35",
+            slug: "simcore",
+            title: "Event-engine throughput: calendar queue vs binary-heap oracle",
+            source: "infrastructure (enables Sections 3.1-3.2 at scale)",
+            run: engine::e35_engine,
         },
     ]
 }

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! fs-lint [--root DIR] [--json] [--out FILE] [--graph-out FILE]
-//!         [--allow RULE]... [--scope-fallback]
+//!         [--allow RULE]...
 //!         [--baseline FILE [--prune-baseline] | --write-baseline FILE]
 //!         [--list-rules] [FILE...]
 //! ```
@@ -16,9 +16,7 @@
 //! findings beyond that recorded debt and reports fixed-but-still-listed
 //! entries as stale, and `--prune-baseline` rewrites the baseline file
 //! with those stale entries dropped (see the crate's `baseline` module
-//! docs). `--scope-fallback` forces the pre-v3 path-list scoping for the
-//! semantic rules (transitional; will be removed next release). Exit
-//! status: 0 clean, 1 findings, 2 usage error.
+//! docs). Exit status: 0 clean, 1 findings, 2 usage error.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -74,7 +72,6 @@ fn main() -> ExitCode {
                 cfg.graph_json = true;
                 graph_out = Some(PathBuf::from(v));
             }
-            "--scope-fallback" => cfg.scope_fallback = true,
             "--list-rules" => {
                 for r in fslint::RULES {
                     println!("{:<26} {}", r.id, r.summary);
@@ -85,7 +82,7 @@ fn main() -> ExitCode {
                 println!(
                     "fs-lint: workspace determinism auditor\n\n\
                      usage: fs-lint [--root DIR] [--json] [--out FILE] [--graph-out FILE] \
-                     [--allow RULE]... [--scope-fallback] \
+                     [--allow RULE]... \
                      [--baseline FILE [--prune-baseline] | --write-baseline FILE] \
                      [--list-rules] [FILE...]"
                 );
@@ -195,7 +192,7 @@ fn usage(msg: &str) -> ExitCode {
     eprintln!("fs-lint: {msg}");
     eprintln!(
         "usage: fs-lint [--root DIR] [--json] [--out FILE] [--graph-out FILE] \
-         [--allow RULE]... [--scope-fallback] \
+         [--allow RULE]... \
          [--baseline FILE [--prune-baseline] | --write-baseline FILE] [FILE...]"
     );
     ExitCode::from(2)

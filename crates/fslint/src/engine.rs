@@ -30,9 +30,6 @@ const SCAN_ROOTS: &[&str] = &["crates", "src", "tests", "examples"];
 pub struct Config {
     /// Rule ids disabled wholesale (from `--allow`).
     pub allow: BTreeSet<String>,
-    /// Force v2 path-list scoping instead of call-graph scoping
-    /// (`--scope-fallback`; transitional, one release).
-    pub scope_fallback: bool,
     /// Export the call graph in the report (`--graph-out`).
     pub graph_json: bool,
 }
@@ -107,11 +104,12 @@ pub fn lint_paths(root: &Path, files: &[PathBuf], cfg: &Config) -> Report {
         }
     }
 
-    // Phase two: the call graph over the whole set. Scoping degrades to
-    // the v2 path lists when the set has no entry points (single-file
-    // runs, fixture subsets) or the user asked for the fallback.
+    // Phase two: the call graph over the whole set. A set with no entry
+    // points (single-file runs, fixture subsets) has nothing to seed the
+    // reachability fixpoints from: those runs get the empty scope, and
+    // only the everywhere rules apply.
     let graph = Graph::build(&units);
-    let graph_mode = !cfg.scope_fallback && graph.has_entries();
+    let graph_mode = graph.has_entries();
     let graph_json = cfg.graph_json.then(|| graph.render_json(&units));
     let program_findings =
         if graph_mode { graph.whole_program_findings(&units) } else { Vec::new() };
@@ -122,7 +120,7 @@ pub fn lint_paths(root: &Path, files: &[PathBuf], cfg: &Config) -> Report {
         let ctx = FileCtx { path: u.path.clone(), lexed: &u.lexed };
         let mut file_findings = Vec::new();
         rules::check_file(&ctx, &mut file_findings);
-        let scope = if graph_mode { graph.scope_for(i) } else { FileScope::fallback(&u.path) };
+        let scope = if graph_mode { graph.scope_for(i) } else { FileScope::unscoped() };
         sem::check_file(&ctx, &u.model, &scope, &mut file_findings);
         sites.extend(rules::label_sites(&ctx));
         per_file.push((i, suppress::scan(&u.lexed.comments), file_findings));

@@ -15,7 +15,13 @@
 //!   Method calls dispatch *by name* to every method with that name in the
 //!   workspace — a superset of real dispatch that subsumes trait objects
 //!   and generic bounds (`impl Trait for T` methods get an edge from every
-//!   call through the trait's method names). Free calls resolve through
+//!   call through the trait's method names) — **gated on the caller's
+//!   file mentioning the method's self type or trait** as an identifier
+//!   anywhere (import, construction, annotation, impl). The gate prunes
+//!   pure name collisions: `atomic.load(..)` does not edge into an
+//!   unrelated `Vm::load`, because a file that really calls a workspace
+//!   method has to name its type or trait to get a value of it. Free
+//!   calls resolve through
 //!   per-crate module resolution, imports, and `pub use` re-exports
 //!   ([`crate::resolve`]); a `Self::helper()` call resolves against the
 //!   enclosing impl. Paths that cannot be resolved (std, unknown crates)
@@ -26,10 +32,14 @@
 //!   run under these), and the campaign dispatch roots `run_scenario` /
 //!   `run_all`. `panic-path` runs exactly on `R`.
 //! * **Scheduling set `S ⊆ R`-ish**: functions that own or touch an event
-//!   queue — methods of types with a `BinaryHeap` field, bodies mentioning
-//!   `BinaryHeap`, and callers of the scheduler primitives
+//!   queue — methods of types with a `BinaryHeap` or `EventKey` field,
+//!   methods of `impl EventQueue for _` blocks (the pluggable queue
+//!   backends in `simcore::queue`), bodies mentioning `BinaryHeap` or
+//!   `EventKey`, and callers of the scheduler primitives
 //!   (`schedule_at`/`schedule_after`/`schedule_periodic`/`at_cancellable`/
-//!   `run_until`/`run_for`). The full `stable-tiebreak` battery runs on
+//!   `run_until`/`run_for`/`schedule_event` and the queue ops
+//!   `push`-adjacent `pop_next`/`pop_batch`/`min_time`). The full
+//!   `stable-tiebreak` battery runs on
 //!   `S`; the rest of `R` gets only the bare-time-key check, because a
 //!   single-key `min_by_key` in ordinary model code is not a scheduling
 //!   hazard. `Ord`/`PartialOrd` impls are in scope when their type appears
@@ -43,12 +53,13 @@
 //! the sets slightly — the gate's backstop is that `workspace_clean` keeps
 //! the whole tree finding-free either way.
 //!
-//! ## Fallback scoping
+//! ## No entry points
 //!
 //! When the scanned file set contains *no* entry points (single-file runs,
-//! the v2 sem fixtures) — or under the transitional `--scope-fallback`
-//! flag — scoping falls back to the v2 path lists, relocated here from
-//! `sem.rs` and due for deletion one release after v3.
+//! fixture subsets) there is nothing to seed the fixpoints from, and the
+//! engine uses [`FileScope::unscoped`]: `S` and `R` are empty, so only the
+//! everywhere rules apply. The v2 path lists and their `--scope-fallback`
+//! escape hatch are gone.
 
 use crate::lexer::{Lexed, TokKind};
 use crate::parse::{self, FileModel};
@@ -101,6 +112,13 @@ pub struct FnNode {
     pub in_test: bool,
 }
 
+/// The trait the pluggable event-queue backends implement; every method
+/// of an `impl EventQueue for _` block belongs to the scheduling set.
+const QUEUE_TRAIT: &str = "EventQueue";
+/// The arena-index key type queued by the event engine; owning or
+/// touching it marks a function as scheduling code, like `BinaryHeap`.
+const QUEUE_KEY_TYPE: &str = "EventKey";
+
 /// Scheduler primitives whose callers belong to the scheduling set `S`.
 const SCHED_METHODS: &[&str] = &[
     "schedule_at",
@@ -109,6 +127,10 @@ const SCHED_METHODS: &[&str] = &[
     "at_cancellable",
     "run_until",
     "run_for",
+    "schedule_event",
+    "pop_next",
+    "pop_batch",
+    "min_time",
 ];
 
 /// Impl type names whose methods are injector-reachability entry points.
@@ -196,6 +218,20 @@ impl Graph {
         }
         let lookup = FnLookup { free_fns, reexports };
 
+        // Every identifier each file mentions anywhere: the receiver-type
+        // gate for method edges below.
+        let file_idents: Vec<BTreeSet<&str>> = units
+            .iter()
+            .map(|u| {
+                u.lexed
+                    .tokens
+                    .iter()
+                    .filter(|t| t.kind == TokKind::Ident)
+                    .map(|t| t.text.as_str())
+                    .collect()
+            })
+            .collect();
+
         // Edges.
         let mut edges: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); nodes.len()];
         let mut node_of: BTreeMap<(usize, usize), usize> = BTreeMap::new();
@@ -206,10 +242,23 @@ impl Graph {
             let src_of = |tok: usize| {
                 u.model.enclosing_fn_idx(tok).and_then(|k| node_of.get(&(file, k)).copied())
             };
+            let mentions = |name: &Option<String>| {
+                name.as_deref().is_some_and(|n| file_idents[file].contains(n))
+            };
             for call in &u.model.calls {
                 let Some(src) = src_of(call.dot) else { continue };
                 if let Some(tgts) = methods_by_name.get(call.name.as_str()) {
-                    edges[src].extend(tgts.iter().copied());
+                    // By-name dispatch, gated: the caller's file must
+                    // mention the candidate's self type (construction,
+                    // import, annotation) or its trait (dyn / generic
+                    // dispatch). A bare name match against a std method
+                    // (`atomic.load`, `vec.push`) mentions neither and
+                    // contributes no edge.
+                    edges[src].extend(
+                        tgts.iter().copied().filter(|&t| {
+                            mentions(&nodes[t].owner) || mentions(&nodes[t].trait_name)
+                        }),
+                    );
                 }
             }
             for fc in &u.model.free_calls {
@@ -277,14 +326,24 @@ impl Graph {
             .collect();
         let reachable = bfs(&edges, entries.iter().copied());
 
-        // The scheduling set and heap element types.
-        let mut heap_structs: BTreeSet<&str> = BTreeSet::new();
+        // The scheduling set and heap element types. "Queue structs" are
+        // event-queue owners: a `BinaryHeap` or `EventKey` field, or an
+        // `impl EventQueue for _` block (the pluggable backends).
+        let mut queue_structs: BTreeSet<&str> = BTreeSet::new();
         let mut heap_elem_types: BTreeSet<String> = BTreeSet::new();
         for u in units {
             for s in &u.model.structs {
                 let (b0, b1) = s.body;
-                if u.lexed.tokens[b0..=b1].iter().any(|t| t.is_ident("BinaryHeap")) {
-                    heap_structs.insert(&s.name);
+                if u.lexed.tokens[b0..=b1]
+                    .iter()
+                    .any(|t| t.is_ident("BinaryHeap") || t.is_ident(QUEUE_KEY_TYPE))
+                {
+                    queue_structs.insert(&s.name);
+                }
+            }
+            for im in &u.model.impls {
+                if im.trait_name.as_deref() == Some(QUEUE_TRAIT) {
+                    queue_structs.insert(&im.type_name);
                 }
             }
             for h in &u.model.heaps {
@@ -301,14 +360,16 @@ impl Graph {
         }
         let mut sched = vec![false; nodes.len()];
         for (n, node) in nodes.iter().enumerate() {
-            if node.owner.as_deref().is_some_and(|t| heap_structs.contains(t)) {
+            if node.owner.as_deref().is_some_and(|t| queue_structs.contains(t)) {
                 sched[n] = true;
                 continue;
             }
             let u = &units[node.file];
             let (b0, b1) = node.body;
             let touches_heap = u.model.heaps.iter().any(|h| h.angles.0 >= b0 && h.angles.1 <= b1)
-                || u.lexed.tokens[b0..=b1].iter().any(|t| t.is_ident("BinaryHeap"));
+                || u.lexed.tokens[b0..=b1]
+                    .iter()
+                    .any(|t| t.is_ident("BinaryHeap") || t.is_ident(QUEUE_KEY_TYPE));
             let calls_sched =
                 u.model.calls.iter().any(|c| {
                     c.dot >= b0 && c.dot <= b1 && SCHED_METHODS.contains(&c.name.as_str())
@@ -349,12 +410,10 @@ impl Graph {
             }
         }
         FileScope {
-            mode: ScopeMode::Graph,
             sched_spans,
             reach_spans,
             ord_types: Some(self.heap_elem_types.clone()),
-            path_sched: false,
-            path_reach: false,
+            heaps: true,
         }
     }
 
@@ -605,128 +664,84 @@ impl FnLookup {
 }
 
 // ---------------------------------------------------------------------------
-// Scoping: what the semantic rules consult instead of path lists.
+// Scoping: what the semantic rules consult.
 // ---------------------------------------------------------------------------
 
-/// How a file's semantic-rule scope was decided.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum ScopeMode {
-    /// Derived from the call graph (spans of `S`/`R` members).
-    Graph,
-    /// v2 path-list fallback (no entry points scanned, or
-    /// `--scope-fallback`).
-    PathFallback,
-}
-
-/// One file's semantic-rule scope (see [`ScopeMode`]).
+/// One file's semantic-rule scope: the token spans of its `S` and `R`
+/// members, derived from the call graph ([`Graph::scope_for`]).
 #[derive(Debug)]
 pub struct FileScope {
-    /// How the scope was decided.
-    pub mode: ScopeMode,
     /// Body spans of scheduling-set (`S`) functions in this file.
     pub sched_spans: Vec<(usize, usize)>,
     /// Body spans of injector-reachable (`R`) functions in this file.
     pub reach_spans: Vec<(usize, usize)>,
-    /// Type names whose `Ord`/`PartialOrd` impls are in scope; `None`
-    /// means "decide by path" (fallback mode).
+    /// Type names whose `Ord`/`PartialOrd` impls are in tiebreak scope;
+    /// `None` means every type (whole-file unit-test scopes only).
     pub ord_types: Option<BTreeSet<String>>,
-    /// Fallback: the file is on a scheduling path.
-    pub path_sched: bool,
-    /// Fallback: the file is in an injector-reachable tree.
-    pub path_reach: bool,
+    /// Whether `BinaryHeap<…>` declarations are in scope. Graph scopes
+    /// always set this: every heap is scheduling infrastructure.
+    pub heaps: bool,
 }
 
 impl FileScope {
-    /// The v2 path-list scope for `path` (see module docs; transitional).
-    pub fn fallback(path: &str) -> FileScope {
+    /// The empty scope, used when the scanned set has no entry points
+    /// (single-file runs, fixture subsets): `S` and `R` are empty and no
+    /// `Ord` impl or heap declaration is in scope, so only the everywhere
+    /// rules (`float-total-order`, the token rules) apply.
+    pub fn unscoped() -> FileScope {
         FileScope {
-            mode: ScopeMode::PathFallback,
             sched_spans: Vec::new(),
             reach_spans: Vec::new(),
-            ord_types: None,
-            path_sched: is_scheduling_path(path),
-            path_reach: is_injector_reachable(path),
+            ord_types: Some(BTreeSet::new()),
+            heaps: false,
+        }
+    }
+
+    /// A whole-file scope for single-file unit harnesses: every token is
+    /// in `S` (when `sched`) and `R` (when `reach`), and `sched` puts
+    /// every `Ord` impl and heap declaration in scope. Stands in for what
+    /// the graph would derive once the file sat in a full workspace.
+    #[cfg(test)]
+    pub fn whole_file(sched: bool, reach: bool) -> FileScope {
+        let span = |on: bool| if on { vec![(0, usize::MAX)] } else { Vec::new() };
+        FileScope {
+            sched_spans: span(sched),
+            reach_spans: span(reach),
+            ord_types: if sched { None } else { Some(BTreeSet::new()) },
+            heaps: sched,
         }
     }
 
     /// True when token index `i` is inside scheduling-set code: the full
     /// `stable-tiebreak` battery applies.
     pub fn in_sched(&self, i: usize) -> bool {
-        match self.mode {
-            ScopeMode::Graph => self.sched_spans.iter().any(|&(s, e)| i >= s && i <= e),
-            ScopeMode::PathFallback => self.path_sched,
-        }
+        self.sched_spans.iter().any(|&(s, e)| i >= s && i <= e)
     }
 
     /// True when token index `i` is inside injector-reachable code:
     /// `panic-path` applies.
     pub fn in_reach(&self, i: usize) -> bool {
-        match self.mode {
-            ScopeMode::Graph => self.reach_spans.iter().any(|&(s, e)| i >= s && i <= e),
-            ScopeMode::PathFallback => self.path_reach,
-        }
+        self.reach_spans.iter().any(|&(s, e)| i >= s && i <= e)
     }
 
     /// True when token index `i` gets the *weak* tiebreak check (bare
-    /// time-key orderings only): reachable but not scheduling code. Never
-    /// true in fallback mode — v2 checked nothing outside its path lists.
+    /// time-key orderings only): reachable but not scheduling code.
     pub fn weak_tiebreak(&self, i: usize) -> bool {
-        self.mode == ScopeMode::Graph && self.in_reach(i) && !self.in_sched(i)
+        self.in_reach(i) && !self.in_sched(i)
     }
 
     /// True when the `Ord`/`PartialOrd` impl for `ty` is in tiebreak scope.
     pub fn ord_in_scope(&self, ty: &str) -> bool {
         match &self.ord_types {
             Some(set) => set.contains(ty),
-            None => self.path_sched,
+            None => true,
         }
     }
 
-    /// True when `BinaryHeap<…>` element checks apply at token `i`. Every
-    /// heap is scheduling infrastructure, so graph mode checks them all.
+    /// True when `BinaryHeap<…>` element checks apply at token `i`.
     pub fn heap_in_scope(&self, _i: usize) -> bool {
-        match self.mode {
-            ScopeMode::Graph => true,
-            ScopeMode::PathFallback => self.path_sched,
-        }
+        self.heaps
     }
-}
-
-// ---------------------------------------------------------------------------
-// The v2 path lists, kept only for fallback mode (deleted from sem.rs).
-// ---------------------------------------------------------------------------
-
-/// Files/directories whose code decides scheduling order (substring
-/// match). Transitional: used only by [`FileScope::fallback`].
-const SCHEDULING_PATHS: &[&str] = &[
-    "crates/simcore/src/",
-    "crates/netsim/src/link.rs",
-    "crates/netsim/src/switch.rs",
-    "crates/netsim/src/mesh.rs",
-    "crates/netsim/src/wormhole.rs",
-    "crates/blockdev/src/sched.rs",
-    "crates/perfplane/src/gossip.rs",
-    "crates/bench/src/campaign/runner.rs",
-];
-
-/// Library trees a fault injector can reach (substring match).
-/// Transitional: used only by [`FileScope::fallback`].
-const INJECTOR_REACHABLE: &[&str] = &[
-    "crates/simcore/src/",
-    "crates/raidsim/src/",
-    "crates/perfplane/src/",
-    "crates/adapt/src/",
-    "crates/stutter/src/",
-];
-
-/// True for files on a v2 scheduling path (fallback scoping only).
-pub fn is_scheduling_path(path: &str) -> bool {
-    SCHEDULING_PATHS.iter().any(|p| path.contains(p))
-}
-
-/// True for v2 injector-reachable library paths (fallback scoping only).
-pub fn is_injector_reachable(path: &str) -> bool {
-    INJECTOR_REACHABLE.iter().any(|p| path.contains(p))
 }
 
 #[cfg(test)]
@@ -785,6 +800,52 @@ mod tests {
     }
 
     #[test]
+    fn method_edges_require_a_type_or_trait_mention() {
+        // `fire` calls `.load(..)` on a std atomic: beta's `Vm::load` has
+        // the same name, but alpha never mentions `Vm`, so no edge forms.
+        // gamma calls through `Box<dyn Pump>`: naming the *trait* is
+        // enough to edge into every implementor's method.
+        let units = [
+            unit(
+                "crates/alpha/src/lib.rs",
+                "pub struct Injector; impl Injector { \
+                   pub fn fire(&self, a: &AtomicU8) { a.load(Relaxed); } }",
+            ),
+            unit("crates/beta/src/lib.rs", "pub struct Vm; impl Vm { pub fn load(&self) {} }"),
+            unit(
+                "crates/gamma/src/lib.rs",
+                "pub struct Injector; impl Injector { \
+                   pub fn drive(&self, p: &mut Box<dyn Pump>) { p.pump(); } }",
+            ),
+            unit(
+                "crates/delta/src/lib.rs",
+                "pub struct Piston; impl Pump for Piston { pub fn pump(&mut self) {} }",
+            ),
+        ];
+        let g = Graph::build(&units);
+        assert!(!g.reachable[node_id(&g, "load")], "std-method name collision edges nothing");
+        assert!(g.reachable[node_id(&g, "pump")], "trait mention reaches dyn implementors");
+    }
+
+    #[test]
+    fn queue_backends_and_key_owners_join_the_sched_set() {
+        let units = [unit(
+            "crates/alpha/src/lib.rs",
+            "pub struct Ring { keys: Vec<EventKey> } \
+             impl EventQueue for Ring { pub fn rotate(&mut self) {} } \
+             impl Ring { pub fn tune(&mut self) {} } \
+             pub struct Driver; \
+             impl Driver { pub fn drain(&self, q: &mut Ring) { q.pop_batch(); } } \
+             pub fn bystander() {}",
+        )];
+        let g = Graph::build(&units);
+        assert!(g.sched[node_id(&g, "rotate")], "EventQueue impl methods are S");
+        assert!(g.sched[node_id(&g, "tune")], "inherent methods of EventKey owners are S");
+        assert!(g.sched[node_id(&g, "drain")], "queue-op callers are S");
+        assert!(!g.sched[node_id(&g, "bystander")]);
+    }
+
+    #[test]
     fn sched_set_covers_heap_owners_and_scheduler_callers() {
         let units = [unit(
             "crates/alpha/src/lib.rs",
@@ -801,8 +862,12 @@ mod tests {
     }
 
     #[test]
-    fn no_entries_means_fallback() {
+    fn no_entries_means_unscoped() {
         let g = Graph::build(&[unit("crates/alpha/src/lib.rs", "pub fn lonely() {}")]);
         assert!(!g.has_entries());
+        // The scope the engine substitutes has nothing in S or R.
+        let s = FileScope::unscoped();
+        assert!(!s.in_sched(0) && !s.in_reach(0));
+        assert!(!s.heap_in_scope(0) && !s.ord_in_scope("Ev"));
     }
 }

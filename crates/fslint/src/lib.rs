@@ -37,9 +37,9 @@
 //! comparator closures, and per-function bound variables — and are scoped
 //! by a workspace call-graph reachability analysis ([`graph`] over
 //! [`resolve`]): `panic-path` fires on the injector-reachable fixpoint
-//! `R`, the full `stable-tiebreak` battery on the scheduling set `S`, and
-//! the v2 path lists survive only as the `--scope-fallback` escape hatch
-//! (one release). The whole-program rules (`oracle-coverage`,
+//! `R`, and the full `stable-tiebreak` battery on the scheduling set `S`;
+//! a scanned set with no entry points is unscoped, so only the
+//! everywhere rules apply. The whole-program rules (`oracle-coverage`,
 //! `dead-scenario`) walk the same graph from the campaign's dispatch
 //! roots; `--graph-out FILE` exports the graph a run used.
 //!

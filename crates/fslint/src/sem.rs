@@ -11,7 +11,7 @@
 //!
 //! Where each rule applies is decided by a [`crate::graph::FileScope`],
 //! which the engine derives from the workspace call graph
-//! ([`crate::graph`]) — the v2 hardcoded path lists are gone:
+//! ([`crate::graph`]):
 //!
 //! * **Scheduling set `S`** (`stable-tiebreak`, full battery): functions
 //!   that own or drive an event queue, per the call graph. In the rest of
@@ -28,9 +28,10 @@
 //!   in this workspace is either model state or a measurement, and both
 //!   end up in goldens or the campaign digest.
 //!
-//! When the scanned set has no entry points (single-file runs, fixtures) —
-//! or under `--scope-fallback` — the engine passes a path-list fallback
-//! scope instead ([`crate::graph::FileScope::fallback`]).
+//! When the scanned set has no entry points (single-file runs, fixture
+//! subsets) the engine passes the empty scope
+//! ([`crate::graph::FileScope::unscoped`]): `S` and `R` are empty and
+//! only the everywhere rules apply.
 //!
 //! ## Documented exemptions
 //!
@@ -539,9 +540,22 @@ mod tests {
         let ctx = FileCtx { path: path.to_string(), lexed: &lexed };
         let model = parse::parse(&lexed);
         let mut findings = Vec::new();
-        // Single-file runs always use the path-list fallback scope; graph
-        // scoping is exercised end to end in tests/graph.rs.
-        check_file(&ctx, &model, &FileScope::fallback(path), &mut findings);
+        // These unit tests exercise the rule bodies, not the graph (that
+        // is tests/graph.rs territory), so the path picks a whole-file
+        // scope standing in for what the graph derives in the real tree:
+        // simcore is scheduling code, the injector-driven model crates
+        // are reachable, everything else gets only the everywhere rules.
+        let scope = if path.contains("crates/simcore/src/") {
+            FileScope::whole_file(true, true)
+        } else if ["raidsim", "perfplane", "adapt", "stutter"]
+            .iter()
+            .any(|c| path.contains(&format!("crates/{c}/src/")))
+        {
+            FileScope::whole_file(false, true)
+        } else {
+            FileScope::unscoped()
+        };
+        check_file(&ctx, &model, &scope, &mut findings);
         findings
     }
 

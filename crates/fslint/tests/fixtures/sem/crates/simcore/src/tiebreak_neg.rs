@@ -1,20 +1,43 @@
 //! stable-tiebreak negative fixture: every ordering site carries a stable
-//! secondary key (or delegates to a named comparator that does).
+//! secondary key (or delegates to a named comparator that does). The same
+//! `Simulation` owner as the positive fixture keeps every site in the
+//! scheduling set `S`, so the silence is the rule's judgement, not a
+//! scoping accident.
 
 pub struct Ev {
     pub at: SimTime,
     pub seq: u64,
 }
 
-pub fn tuple_key_sort(q: &mut Vec<Ev>) {
-    q.sort_by_key(|e| (e.at, e.seq));
+pub struct Simulation {
+    queue: BinaryHeap<Reverse<(SimTime, u64)>>,
+    pending: BinaryHeap<Reverse<Ev>>,
 }
 
-pub fn block_bodied_tuple_selection(q: &[Ev], head: u64) -> Option<usize> {
-    (0..q.len()).min_by_key(|&i| {
-        let e = &q[i];
-        (dist(e.at, head), e.seq)
-    })
+impl Simulation {
+    pub fn tuple_key_sort(q: &mut Vec<Ev>) {
+        q.sort_by_key(|e| (e.at, e.seq));
+    }
+
+    pub fn block_bodied_tuple_selection(q: &[Ev], head: u64) -> Option<usize> {
+        (0..q.len()).min_by_key(|&i| {
+            let e = &q[i];
+            (dist(e.at, head), e.seq)
+        })
+    }
+
+    pub fn then_chained_comparator(q: &mut Vec<Ev>) {
+        q.sort_by(|a, b| a.at.cmp(&b.at).then(a.seq.cmp(&b.seq)));
+    }
+
+    pub fn sequenced_heap() {
+        let h: BinaryHeap<Reverse<(SimTime, u64)>> = BinaryHeap::new();
+        drop(h);
+    }
+
+    pub fn named_comparator(q: &mut Vec<Ev>) {
+        q.sort_by(Ev::by_schedule_key);
+    }
 }
 
 fn dist(_at: SimTime, _head: u64) -> u64 {
@@ -25,17 +48,4 @@ impl Ord for Ev {
     fn cmp(&self, other: &Self) -> Ordering {
         (self.at, self.seq).cmp(&(other.at, other.seq))
     }
-}
-
-pub fn then_chained_comparator(q: &mut Vec<Ev>) {
-    q.sort_by(|a, b| a.at.cmp(&b.at).then(a.seq.cmp(&b.seq)));
-}
-
-pub fn sequenced_heap() {
-    let h: BinaryHeap<Reverse<(SimTime, u64)>> = BinaryHeap::new();
-    drop(h);
-}
-
-pub fn named_comparator(q: &mut Vec<Ev>) {
-    q.sort_by(Ev::by_schedule_key);
 }

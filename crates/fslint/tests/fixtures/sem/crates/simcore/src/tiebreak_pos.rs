@@ -1,6 +1,8 @@
 //! stable-tiebreak positive fixture: every ordering site leaves a tie to
-//! container order (or keys a scheduler on floats). The path mirrors a
-//! scheduling tree so the rule is in scope.
+//! container order (or keys a scheduler on floats). The `Simulation`
+//! owner seeds the call graph (entry type) and its heap fields make it an
+//! event-queue struct, so every method sits in the scheduling set `S` —
+//! and `Ev` rides into tiebreak scope as a heap element type.
 
 pub struct Ev {
     pub at: SimTime,
@@ -8,12 +10,32 @@ pub struct Ev {
     pub weight: f64,
 }
 
-pub fn single_key_sort(q: &mut Vec<Ev>) {
-    q.sort_by_key(|e| e.at);
+pub struct Simulation {
+    queue: BinaryHeap<Reverse<(SimTime, u64)>>,
+    pending: BinaryHeap<Reverse<Ev>>,
 }
 
-pub fn single_key_selection(dists: &[u64]) -> Option<usize> {
-    (0..dists.len()).min_by_key(|&i| far(i))
+impl Simulation {
+    pub fn single_key_sort(q: &mut Vec<Ev>) {
+        q.sort_by_key(|e| e.at);
+    }
+
+    pub fn single_key_selection(dists: &[u64]) -> Option<usize> {
+        (0..dists.len()).min_by_key(|&i| far(i))
+    }
+
+    pub fn bare_time_heap() {
+        let h: BinaryHeap<Reverse<SimTime>> = BinaryHeap::new();
+        drop(h);
+    }
+
+    pub fn float_keyed_sort(q: &mut Vec<Ev>, scale: f64) {
+        q.sort_by_key(|e| (scale * e.weight, e.seq));
+    }
+
+    pub fn float_comparator(q: &mut Vec<Ev>) {
+        q.sort_by(|a, b| a.weight.total_cmp(&b.weight));
+    }
 }
 
 fn far(i: usize) -> u64 {
@@ -24,17 +46,4 @@ impl Ord for Ev {
     fn cmp(&self, other: &Self) -> Ordering {
         self.at.cmp(&other.at)
     }
-}
-
-pub fn bare_time_heap() {
-    let h: BinaryHeap<Reverse<SimTime>> = BinaryHeap::new();
-    drop(h);
-}
-
-pub fn float_keyed_sort(q: &mut Vec<Ev>, scale: f64) {
-    q.sort_by_key(|e| (scale * e.weight, e.seq));
-}
-
-pub fn float_comparator(q: &mut Vec<Ev>) {
-    q.sort_by(|a, b| a.weight.total_cmp(&b.weight));
 }

@@ -1,5 +1,24 @@
 //! panic-path negative fixture: handled fallibility, asserted contracts,
 //! bound-identifier subscripts, test code, and one documented suppression.
+//! The `Injector` entry point drives every helper, so all of them are in
+//! `R` and the silence is the rule's judgement, not a scoping accident.
+
+/// The entry point: its methods seed the reachability fixpoint.
+pub struct Injector;
+
+impl Injector {
+    /// Drives every helper below, dragging them into `R`.
+    pub fn fire(&self, v: &[u64], k: usize) -> u64 {
+        asserted_contract(v);
+        let _ = propagated(Some(2));
+        let _ = range_slice(v, k);
+        handled(None)
+            + fixed_shape(v)
+            + bound_subscripts(v, k)
+            + checked_lookup(v, k)
+            + documented_invariant(Some(3))
+    }
+}
 
 pub fn handled(x: Option<u64>) -> u64 {
     x.unwrap_or(0)

@@ -1,5 +1,21 @@
-//! panic-path positive fixture: unscheduled fail-stops in a tree the fault
-//! injector can reach (the path mirrors `crates/stutter/src/`).
+//! panic-path positive fixture: unscheduled fail-stops in code a fault
+//! injector reaches. The `Injector` entry point seeds the call graph, so
+//! every helper it drives lands in the reachable set `R`.
+
+/// The entry point: its methods seed the reachability fixpoint.
+pub struct Injector;
+
+impl Injector {
+    /// Drives every helper below, dragging them into `R`.
+    pub fn fire(&self, v: &[u64], c: &Cursor) -> u64 {
+        panics(2);
+        unwraps(Some(1))
+            + expects(Some(2))
+            + unreachable_arm(0)
+            + computed_subscript(v, 1)
+            + field_subscript(v, c)
+    }
+}
 
 pub fn unwraps(x: Option<u64>) -> u64 {
     x.unwrap()

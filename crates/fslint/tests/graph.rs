@@ -8,15 +8,11 @@ use std::path::Path;
 
 /// Lints one fixture tree (everything under `tests/fixtures/graph/<case>`)
 /// as a single scanned set, the way the engine sees a workspace.
-fn lint_tree_cfg(case: &str, cfg: &Config) -> Vec<Finding> {
+fn lint_tree(case: &str) -> Vec<Finding> {
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/graph").join(case);
     let files = collect_workspace_files(&root);
     assert!(!files.is_empty(), "no fixture files under {case}");
-    lint_paths(&root, &files, cfg).findings
-}
-
-fn lint_tree(case: &str) -> Vec<Finding> {
-    lint_tree_cfg(case, &Config::default())
+    lint_paths(&root, &files, &Config::default()).findings
 }
 
 #[test]
@@ -59,13 +55,19 @@ fn unreachable_panic_is_not_a_finding_in_graph_mode() {
 }
 
 #[test]
-fn scope_fallback_restores_path_list_judgement() {
-    // Under `--scope-fallback` the fixture crates are judged by the v2
-    // path lists, which never covered `crates/alpha/`: the reachable
-    // panic from the re-export case goes dark. This is exactly the v2
-    // false negative the graph fixes — and the flag's documented purpose.
-    let cfg = Config { scope_fallback: true, ..Config::default() };
-    let findings = lint_tree_cfg("reexport", &cfg);
+fn no_entry_subset_is_unscoped() {
+    // Scanning only the library half of the re-export fixture — without
+    // the file that declares the `Injector` entry point — leaves nothing
+    // to seed the reachability fixpoints: `R` is empty and the very same
+    // `unwrap` that graph mode flags across the whole tree goes dark.
+    // This is the contract that replaced the deleted v2 path lists.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/graph/reexport");
+    let files: Vec<_> = collect_workspace_files(&root)
+        .into_iter()
+        .filter(|p| p.to_string_lossy().ends_with("engine.rs"))
+        .collect();
+    assert_eq!(files.len(), 1, "expected just the entry-free half: {files:?}");
+    let findings = lint_paths(&root, &files, &Config::default()).findings;
     assert!(findings.is_empty(), "{findings:?}");
 }
 

@@ -108,22 +108,24 @@ fn panic_path_positive_and_negative() {
 }
 
 #[test]
-fn semantic_rules_stay_in_their_path_scopes() {
-    // The same sources outside a scheduling / injector-reachable tree only
-    // fire the everywhere rules (none of these fixtures trip those).
+fn no_entry_scan_runs_only_everywhere_rules() {
+    // A scanned set with no entry points has empty S and R sets: the
+    // scoped semantic rules stay silent even on scheduling-flavoured
+    // source, while the everywhere rules (float-total-order) still fire.
+    let dir = std::env::temp_dir().join("fslint-unscoped-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("lonely.rs");
+    std::fs::write(
+        &path,
+        "pub fn order(q: &mut Vec<Ev>) { q.sort_by_key(|e| e.at); }\n\
+         pub fn grab(x: Option<u64>) -> u64 { x.unwrap() }\n\
+         pub fn rank(v: &mut Vec<f64>) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }\n",
+    )
+    .unwrap();
     let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
-    let moved = |name: &str| {
-        let src = std::fs::read_to_string(fixture(name)).unwrap();
-        let dir = std::env::temp_dir().join("fslint-scope-test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join(name.rsplit('/').next().unwrap());
-        std::fs::write(&path, src).unwrap();
-        lint_paths(&root, &[path], &Config::default()).findings
-    };
-    assert!(moved("sem/crates/simcore/src/tiebreak_pos.rs")
-        .iter()
-        .all(|f| f.rule != id::STABLE_TIEBREAK));
-    assert!(moved("sem/crates/stutter/src/panic_pos.rs").iter().all(|f| f.rule != id::PANIC_PATH));
+    let findings = lint_paths(&root, &[path], &Config::default()).findings;
+    assert_eq!(rules_of(&findings), vec![id::FLOAT_TOTAL_ORDER], "{findings:?}");
+    assert_eq!(findings.len(), 1, "{findings:?}");
 }
 
 #[test]

@@ -1,12 +1,24 @@
 //! The discrete-event simulation loop.
 //!
-//! A [`Simulation`] owns user-defined state `S` and a time-ordered queue of
-//! events. Each event is a boxed closure invoked with exclusive access to
-//! the state and a [`Scheduler`] through which it can read the clock and
-//! schedule further events. Events at equal times run in the order they were
-//! scheduled (FIFO tie-breaking by sequence number), which — together with
-//! the deterministic RNG in [`crate::rng`] — makes runs exactly
-//! reproducible.
+//! A [`Simulation`] owns user-defined state `S`, an arena of event
+//! payloads, and a pluggable [`EventQueue`] of `(time, seq, slot)` keys
+//! ([`crate::queue`]). Each event is a boxed closure invoked with
+//! exclusive access to the state and a [`Scheduler`] through which it can
+//! read the clock and schedule further events. Events at equal times run
+//! in the order they were scheduled (FIFO tie-breaking by sequence
+//! number), which — together with the deterministic RNG in [`crate::rng`]
+//! — makes runs exactly reproducible.
+//!
+//! # Determinism contract
+//!
+//! The dispatch order is the ascending `(time, seq)` order of scheduling
+//! calls, *independent of the queue implementation*: the calendar queue
+//! (default) and the binary-heap [`ReferenceQueue`](crate::queue) are
+//! interchangeable bit-for-bit, and `tests/differential.rs` holds them to
+//! it. Cancelled events still advance the clock and count as executed
+//! (their handler is simply skipped), periodic rearms are sequenced
+//! *after* anything their handler scheduled, and [`Scheduler::stop`]
+//! leaves unprocessed events queued for a later `run`.
 //!
 //! # Examples
 //!
@@ -24,77 +36,211 @@
 //! assert_eq!(*sim.state(), 11);
 //! ```
 
-use std::cell::Cell;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::cell::RefCell;
 use std::rc::Rc;
 
+use crate::queue::{self, EventKey, EventQueue, QueueKind};
 use crate::time::{SimDuration, SimTime};
 
 /// A boxed event handler.
 pub type EventFn<S> = Box<dyn FnOnce(&mut S, &mut Scheduler<S>)>;
 
-struct Entry<S> {
-    at: SimTime,
-    seq: u64,
-    f: EventFn<S>,
+/// A boxed periodic handler: returns the next delay, or `None` to stop.
+type PeriodicFn<S> = Box<dyn FnMut(&mut S, &mut Scheduler<S>) -> Option<SimDuration>>;
+
+/// One arena slot: the payload a queued [`EventKey`] points at.
+///
+/// Periodic events keep their slot across rearms, so a self-rearming
+/// timer allocates exactly once for its whole lifetime (the v1 engine
+/// re-boxed the closure on every rearm).
+enum Slot<S> {
+    /// No payload; the slot is free or its event is mid-dispatch.
+    Vacant,
+    /// A one-shot handler.
+    Once(EventFn<S>),
+    /// A self-rearming handler.
+    Periodic(PeriodicFn<S>),
 }
 
-impl<S> PartialEq for Entry<S> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
+/// Cancellation flags and slot generations, shared with [`EventHandle`]s
+/// through an `Rc`. A slot's generation bumps every time it is released,
+/// so a stale handle (its event already fired) can never cancel the
+/// slot's next tenant.
+#[derive(Default)]
+struct CancelSet {
+    gen: Vec<u32>,
+    flag: Vec<bool>,
 }
-impl<S> Eq for Entry<S> {}
-impl<S> PartialOrd for Entry<S> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
+
+impl CancelSet {
+    fn grow_to(&mut self, n: usize) {
+        while self.gen.len() < n {
+            self.gen.push(0);
+            self.flag.push(false);
+        }
     }
-}
-impl<S> Ord for Entry<S> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap but we want the earliest
-        // (time, seq) pair first.
-        (other.at, other.seq).cmp(&(self.at, self.seq))
+
+    fn gen_of(&self, idx: usize) -> u32 {
+        self.gen.get(idx).copied().unwrap_or(0)
+    }
+
+    fn flagged(&self, idx: usize) -> bool {
+        self.flag.get(idx).copied().unwrap_or(false)
+    }
+
+    fn release(&mut self, idx: usize) {
+        if let Some(g) = self.gen.get_mut(idx) {
+            *g = g.wrapping_add(1);
+        }
+        if let Some(fl) = self.flag.get_mut(idx) {
+            *fl = false;
+        }
     }
 }
 
 /// A cancellation handle for a scheduled event.
 ///
 /// Dropping the handle does *not* cancel the event; call
-/// [`EventHandle::cancel`].
-#[derive(Clone, Debug)]
+/// [`EventHandle::cancel`]. The handle addresses its event by arena slot
+/// and generation, so it stays valid (and inert) after the event fires:
+/// cancelling an already-fired event is a no-op, and
+/// [`is_cancelled`](EventHandle::is_cancelled) reports false once the
+/// event is gone.
+#[derive(Clone)]
 pub struct EventHandle {
-    cancelled: Rc<Cell<bool>>,
+    set: Rc<RefCell<CancelSet>>,
+    slot: u32,
+    gen: u32,
 }
 
 impl EventHandle {
     /// Cancels the event. If it has already run, this has no effect.
     pub fn cancel(&self) {
-        self.cancelled.set(true);
+        let mut cs = self.set.borrow_mut();
+        let idx = self.slot as usize;
+        if cs.gen_of(idx) == self.gen {
+            if let Some(fl) = cs.flag.get_mut(idx) {
+                *fl = true;
+            }
+        }
     }
 
-    /// Returns true if [`cancel`](Self::cancel) has been called.
+    /// True while the event is cancelled but not yet collected: after
+    /// [`cancel`](Self::cancel) and before its (skipped) dispatch.
     pub fn is_cancelled(&self) -> bool {
-        self.cancelled.get()
+        let cs = self.set.borrow();
+        let idx = self.slot as usize;
+        cs.gen_of(idx) == self.gen && cs.flagged(idx)
+    }
+}
+
+impl std::fmt::Debug for EventHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventHandle")
+            .field("slot", &self.slot)
+            .field("gen", &self.gen)
+            .field("cancelled", &self.is_cancelled())
+            .finish()
+    }
+}
+
+/// The queue, arena, and clock shared by [`Simulation`] and [`Scheduler`].
+struct Core<S> {
+    queue: Box<dyn EventQueue>,
+    arena: Vec<Slot<S>>,
+    free: Vec<u32>,
+    cancels: Rc<RefCell<CancelSet>>,
+    now: SimTime,
+    seq: u64,
+    executed: u64,
+    stop: bool,
+}
+
+impl<S> Core<S> {
+    fn new(queue: Box<dyn EventQueue>) -> Core<S> {
+        Core {
+            queue,
+            arena: Vec::new(),
+            free: Vec::new(),
+            cancels: Rc::new(RefCell::new(CancelSet::default())),
+            now: SimTime::ZERO,
+            seq: 0,
+            executed: 0,
+            stop: false,
+        }
+    }
+
+    /// Stores `payload` in a (reused) arena slot and queues its key at
+    /// `at` with the next sequence number. Returns `(slot, generation)`.
+    fn schedule_event(&mut self, at: SimTime, payload: Slot<S>) -> (u32, u32) {
+        let slot = match self.free.pop() {
+            Some(s) => {
+                let idx = s as usize;
+                if let Some(cell) = self.arena.get_mut(idx) {
+                    *cell = payload;
+                }
+                s
+            }
+            None => {
+                self.arena.push(payload);
+                (self.arena.len() - 1) as u32
+            }
+        };
+        let idx = slot as usize;
+        let gen = {
+            let mut cs = self.cancels.borrow_mut();
+            cs.grow_to(idx + 1);
+            cs.gen_of(idx)
+        };
+        let key = EventKey { at, seq: self.seq, slot };
+        self.seq += 1;
+        self.queue.push(key);
+        (slot, gen)
+    }
+
+    /// Requeues a periodic handler in its existing slot: no allocation,
+    /// and the rearm's `seq` comes after everything the handler itself
+    /// scheduled — the v1 ordering, preserved bit-for-bit.
+    fn requeue_periodic(&mut self, slot: u32, at: SimTime, f: PeriodicFn<S>) {
+        let idx = slot as usize;
+        if let Some(cell) = self.arena.get_mut(idx) {
+            *cell = Slot::Periodic(f);
+        }
+        let key = EventKey { at, seq: self.seq, slot };
+        self.seq += 1;
+        self.queue.push(key);
+    }
+
+    /// Vacates a slot, bumps its generation (invalidating handles), and
+    /// returns it to the free list.
+    fn release(&mut self, slot: u32) {
+        let idx = slot as usize;
+        if let Some(cell) = self.arena.get_mut(idx) {
+            *cell = Slot::Vacant;
+        }
+        self.cancels.borrow_mut().release(idx);
+        self.free.push(slot);
+    }
+
+    fn handle(&self, slot: u32, gen: u32) -> EventHandle {
+        EventHandle { set: Rc::clone(&self.cancels), slot, gen }
     }
 }
 
 /// The scheduling interface passed to every event handler.
 ///
-/// Newly scheduled events are buffered while the handler runs and merged
-/// into the queue when it returns, so handlers never contend with the loop
-/// for the queue.
+/// Scheduling calls push directly onto the event queue, taking the next
+/// global sequence number at the moment of the call — so two handlers'
+/// same-time events interleave exactly in call order, and a rerun is
+/// bit-identical.
 pub struct Scheduler<'a, S> {
-    now: SimTime,
-    pending: &'a mut Vec<(SimTime, EventFn<S>)>,
-    stop: &'a mut bool,
+    core: &'a mut Core<S>,
 }
 
 impl<'a, S> Scheduler<'a, S> {
     /// The current simulated time.
     pub fn now(&self) -> SimTime {
-        self.now
+        self.core.now
     }
 
     /// Schedules `f` at absolute time `at`.
@@ -103,8 +249,8 @@ impl<'a, S> Scheduler<'a, S> {
     ///
     /// Panics if `at` is in the past.
     pub fn at(&mut self, at: SimTime, f: impl FnOnce(&mut S, &mut Scheduler<S>) + 'static) {
-        assert!(at >= self.now, "cannot schedule into the past: {at} < {}", self.now);
-        self.pending.push((at, Box::new(f)));
+        assert!(at >= self.core.now, "cannot schedule into the past: {at} < {}", self.core.now);
+        self.core.schedule_event(at, Slot::Once(Box::new(f)));
     }
 
     /// Schedules `f` after a relative delay.
@@ -113,8 +259,8 @@ impl<'a, S> Scheduler<'a, S> {
         delay: SimDuration,
         f: impl FnOnce(&mut S, &mut Scheduler<S>) + 'static,
     ) {
-        let at = self.now + delay;
-        self.pending.push((at, Box::new(f)));
+        let at = self.core.now + delay;
+        self.core.schedule_event(at, Slot::Once(Box::new(f)));
     }
 
     /// Schedules `f` at `at` and returns a cancellation handle.
@@ -123,24 +269,16 @@ impl<'a, S> Scheduler<'a, S> {
         at: SimTime,
         f: impl FnOnce(&mut S, &mut Scheduler<S>) + 'static,
     ) -> EventHandle {
-        assert!(at >= self.now, "cannot schedule into the past: {at} < {}", self.now);
-        let cancelled = Rc::new(Cell::new(false));
-        let handle = EventHandle { cancelled: Rc::clone(&cancelled) };
-        self.pending.push((
-            at,
-            Box::new(move |state, ctx| {
-                if !cancelled.get() {
-                    f(state, ctx);
-                }
-            }),
-        ));
-        handle
+        assert!(at >= self.core.now, "cannot schedule into the past: {at} < {}", self.core.now);
+        let (slot, gen) = self.core.schedule_event(at, Slot::Once(Box::new(f)));
+        self.core.handle(slot, gen)
     }
 
     /// Schedules a self-rearming periodic task.
     ///
     /// `f` runs immediately after `first_delay`; each invocation returns
-    /// `Some(next_delay)` to rearm or `None` to stop.
+    /// `Some(next_delay)` to rearm or `None` to stop. The handler keeps
+    /// one arena slot for its whole lifetime — rearming allocates nothing.
     pub fn periodic(
         &mut self,
         first_delay: SimDuration,
@@ -148,65 +286,66 @@ impl<'a, S> Scheduler<'a, S> {
     ) where
         S: 'static,
     {
-        self.after(first_delay, periodic_event(f));
+        let at = self.core.now + first_delay;
+        self.core.schedule_event(at, Slot::Periodic(Box::new(f)));
     }
 
     /// Asks the simulation loop to stop after the current event completes.
     ///
-    /// Events already in the queue remain there; a subsequent `run` call
-    /// resumes processing.
+    /// Events already in the queue remain there (including the rest of a
+    /// same-timestamp batch); a subsequent `run` call resumes processing.
     pub fn stop(&mut self) {
-        *self.stop = true;
+        self.core.stop = true;
     }
 }
 
-fn periodic_event<S: 'static, F>(mut f: F) -> EventFn<S>
-where
-    F: FnMut(&mut S, &mut Scheduler<S>) -> Option<SimDuration> + 'static,
-{
-    Box::new(move |state, ctx| {
-        if let Some(delay) = f(state, ctx) {
-            ctx.after(delay, periodic_event(f));
-        }
-    })
-}
-
 /// A deterministic discrete-event simulation over user state `S`.
+///
+/// [`Simulation::new`] uses the process-default queue kind
+/// ([`crate::queue::default_queue_kind`], normally the calendar queue);
+/// [`Simulation::with_queue_kind`] and [`Simulation::with_queue`] pick
+/// one explicitly. Every kind dispatches the identical event order.
 pub struct Simulation<S> {
     state: S,
-    queue: BinaryHeap<Entry<S>>,
-    now: SimTime,
-    seq: u64,
-    executed: u64,
-    stop: bool,
+    core: Core<S>,
 }
 
 impl<S> Simulation<S> {
-    /// Creates a simulation at time zero owning `state`.
+    /// Creates a simulation at time zero owning `state`, using the
+    /// process-default event queue.
     pub fn new(state: S) -> Self {
-        Simulation {
-            state,
-            queue: BinaryHeap::new(),
-            now: SimTime::ZERO,
-            seq: 0,
-            executed: 0,
-            stop: false,
-        }
+        Simulation::with_queue_kind(state, queue::default_queue_kind())
+    }
+
+    /// Creates a simulation using an explicit [`QueueKind`].
+    pub fn with_queue_kind(state: S, kind: QueueKind) -> Self {
+        Simulation::with_queue(state, kind.make())
+    }
+
+    /// Creates a simulation over a caller-provided [`EventQueue`].
+    pub fn with_queue(state: S, queue: Box<dyn EventQueue>) -> Self {
+        Simulation { state, core: Core::new(queue) }
+    }
+
+    /// The active event queue's short name (`"calendar"`, `"reference"`).
+    pub fn queue_name(&self) -> &'static str {
+        self.core.queue.name()
     }
 
     /// The current simulated time.
     pub fn now(&self) -> SimTime {
-        self.now
+        self.core.now
     }
 
-    /// Number of events executed so far.
+    /// Number of events executed so far (cancelled events count: their
+    /// dispatch advances the clock even though the handler is skipped).
     pub fn events_executed(&self) -> u64 {
-        self.executed
+        self.core.executed
     }
 
     /// Number of events currently queued.
     pub fn events_pending(&self) -> usize {
-        self.queue.len()
+        self.core.queue.len()
     }
 
     /// Shared access to the simulation state.
@@ -234,10 +373,8 @@ impl<S> Simulation<S> {
         at: SimTime,
         f: impl FnOnce(&mut S, &mut Scheduler<S>) + 'static,
     ) {
-        assert!(at >= self.now, "cannot schedule into the past: {at} < {}", self.now);
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(Entry { at, seq, f: Box::new(f) });
+        assert!(at >= self.core.now, "cannot schedule into the past: {at} < {}", self.core.now);
+        self.core.schedule_event(at, Slot::Once(Box::new(f)));
     }
 
     /// Schedules `f` after a relative delay.
@@ -246,7 +383,8 @@ impl<S> Simulation<S> {
         delay: SimDuration,
         f: impl FnOnce(&mut S, &mut Scheduler<S>) + 'static,
     ) {
-        self.schedule_at(self.now + delay, f);
+        let at = self.core.now + delay;
+        self.core.schedule_event(at, Slot::Once(Box::new(f)));
     }
 
     /// Schedules a self-rearming periodic task (see [`Scheduler::periodic`]).
@@ -257,37 +395,95 @@ impl<S> Simulation<S> {
     ) where
         S: 'static,
     {
-        self.schedule_after(first_delay, periodic_event(f));
+        let at = self.core.now + first_delay;
+        self.core.schedule_event(at, Slot::Periodic(Box::new(f)));
+    }
+
+    /// Runs one event's dispatch: clock advance, cancellation check,
+    /// handler call, and (for periodics) the rearm.
+    fn dispatch(&mut self, key: EventKey) {
+        debug_assert!(key.at >= self.core.now, "event queue went backwards");
+        self.core.now = key.at;
+        self.core.executed += 1;
+        let idx = key.slot as usize;
+        if self.core.cancels.borrow().flagged(idx) {
+            self.core.release(key.slot);
+            return;
+        }
+        let payload = match self.core.arena.get_mut(idx) {
+            Some(cell) => std::mem::replace(cell, Slot::Vacant),
+            None => Slot::Vacant,
+        };
+        match payload {
+            Slot::Vacant => {
+                // A key whose slot holds no payload would be an arena
+                // bookkeeping bug; skip it rather than poison the run.
+                debug_assert!(false, "dispatched key with vacant slot {}", key.slot);
+                self.core.release(key.slot);
+            }
+            Slot::Once(f) => {
+                self.core.release(key.slot);
+                let mut ctx = Scheduler { core: &mut self.core };
+                f(&mut self.state, &mut ctx);
+            }
+            Slot::Periodic(mut f) => {
+                let next = {
+                    let mut ctx = Scheduler { core: &mut self.core };
+                    f(&mut self.state, &mut ctx)
+                };
+                match next {
+                    Some(delay) => {
+                        let at = self.core.now + delay;
+                        self.core.requeue_periodic(key.slot, at, f);
+                    }
+                    None => self.core.release(key.slot),
+                }
+            }
+        }
+    }
+
+    /// Dispatches a popped same-timestamp batch in `seq` order. On
+    /// [`Scheduler::stop`], requeues the unprocessed remainder (their
+    /// original keys keep their FIFO positions) and returns true.
+    fn dispatch_batch(&mut self, batch: &[EventKey]) -> bool {
+        for (i, &key) in batch.iter().enumerate() {
+            self.dispatch(key);
+            if self.core.stop {
+                for &rest in &batch[i + 1..] {
+                    self.core.queue.push(rest);
+                }
+                return true;
+            }
+        }
+        false
     }
 
     /// Executes the next event, if any, advancing the clock to it.
     ///
     /// Returns false when the queue is empty.
     pub fn step(&mut self) -> bool {
-        let Some(entry) = self.queue.pop() else {
-            return false;
-        };
-        debug_assert!(entry.at >= self.now, "event queue went backwards");
-        self.now = entry.at;
-        self.executed += 1;
-        let mut pending: Vec<(SimTime, EventFn<S>)> = Vec::new();
-        {
-            let mut sched =
-                Scheduler { now: self.now, pending: &mut pending, stop: &mut self.stop };
-            (entry.f)(&mut self.state, &mut sched);
+        match self.core.queue.pop_next() {
+            Some(key) => {
+                self.dispatch(key);
+                true
+            }
+            None => false,
         }
-        for (at, f) in pending {
-            let seq = self.seq;
-            self.seq += 1;
-            self.queue.push(Entry { at, seq, f });
-        }
-        true
     }
 
     /// Runs until the queue is empty or [`Scheduler::stop`] is called.
     pub fn run(&mut self) {
-        self.stop = false;
-        while !self.stop && self.step() {}
+        self.core.stop = false;
+        let mut batch: Vec<EventKey> = Vec::new();
+        loop {
+            batch.clear();
+            if self.core.queue.pop_batch(&mut batch).is_none() {
+                return;
+            }
+            if self.dispatch_batch(&batch) {
+                return;
+            }
+        }
     }
 
     /// Runs all events scheduled at or before `deadline`, then advances the
@@ -297,34 +493,40 @@ impl<S> Simulation<S> {
     ///
     /// Panics if `deadline` is in the past.
     pub fn run_until(&mut self, deadline: SimTime) {
-        assert!(deadline >= self.now, "deadline {deadline} is before now {}", self.now);
-        self.stop = false;
-        while !self.stop {
-            match self.queue.peek() {
-                Some(entry) if entry.at <= deadline => {
-                    self.step();
+        assert!(deadline >= self.core.now, "deadline {deadline} is before now {}", self.core.now);
+        self.core.stop = false;
+        let mut batch: Vec<EventKey> = Vec::new();
+        while !self.core.stop {
+            match self.core.queue.min_time() {
+                Some(t) if t <= deadline => {
+                    batch.clear();
+                    self.core.queue.pop_batch(&mut batch);
+                    if self.dispatch_batch(&batch) {
+                        break;
+                    }
                 }
                 _ => break,
             }
         }
-        if !self.stop {
-            self.now = deadline;
+        if !self.core.stop {
+            self.core.now = deadline;
         }
     }
 
     /// Runs for a relative span from the current time (see
     /// [`run_until`](Self::run_until)).
     pub fn run_for(&mut self, span: SimDuration) {
-        self.run_until(self.now + span);
+        self.run_until(self.core.now + span);
     }
 }
 
 impl<S: std::fmt::Debug> std::fmt::Debug for Simulation<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Simulation")
-            .field("now", &self.now)
-            .field("pending", &self.queue.len())
-            .field("executed", &self.executed)
+            .field("now", &self.core.now)
+            .field("pending", &self.core.queue.len())
+            .field("executed", &self.core.executed)
+            .field("queue", &self.core.queue.name())
             .field("state", &self.state)
             .finish()
     }
@@ -451,5 +653,97 @@ mod tests {
         sim.schedule_at(SimTime::from_secs(1), |_, _| {});
         sim.run();
         sim.schedule_at(SimTime::ZERO, |_, _| {});
+    }
+
+    #[test]
+    fn stop_mid_batch_requeues_the_rest() {
+        let mut sim = Simulation::new(Vec::new());
+        let t = SimTime::from_secs(1);
+        sim.schedule_at(t, |log: &mut Vec<u32>, ctx| {
+            log.push(0);
+            ctx.stop();
+        });
+        sim.schedule_at(t, |log: &mut Vec<u32>, _| log.push(1));
+        sim.schedule_at(t, |log: &mut Vec<u32>, _| log.push(2));
+        sim.run();
+        assert_eq!(*sim.state(), vec![0]);
+        assert_eq!(sim.events_pending(), 2);
+        sim.run();
+        assert_eq!(*sim.state(), vec![0, 1, 2], "requeued batch keeps FIFO order");
+    }
+
+    #[test]
+    fn cancel_after_fire_is_a_noop() {
+        let mut sim = Simulation::new(Vec::new());
+        sim.schedule_at(SimTime::from_secs(1), |log: &mut Vec<EventHandle>, ctx| {
+            let h = ctx.at_cancellable(ctx.now() + SimDuration::from_secs(1), |_, _| {});
+            log.push(h);
+        });
+        sim.run();
+        let h = sim.state()[0].clone();
+        h.cancel();
+        assert!(!h.is_cancelled(), "a fired event's handle is inert");
+        // The (reused) slot must not be poisoned for the next event.
+        sim.schedule_at(SimTime::from_secs(3), |log: &mut Vec<EventHandle>, ctx| {
+            let now = ctx.now();
+            let h2 = ctx.at_cancellable(now, |_, _| {});
+            log.push(h2);
+        });
+        sim.run();
+        assert_eq!(sim.state().len(), 2, "slot reuse unaffected by the stale cancel");
+        assert!(!sim.state()[1].is_cancelled());
+    }
+
+    #[test]
+    fn same_time_events_scheduled_mid_batch_run_after_it() {
+        let mut sim = Simulation::new(Vec::new());
+        let t = SimTime::from_secs(1);
+        sim.schedule_at(t, move |log: &mut Vec<u32>, ctx| {
+            log.push(0);
+            let now = ctx.now();
+            ctx.at(now, |log: &mut Vec<u32>, _| log.push(9));
+        });
+        sim.schedule_at(t, |log: &mut Vec<u32>, _| log.push(1));
+        sim.run();
+        assert_eq!(*sim.state(), vec![0, 1, 9], "late arrival has the highest seq");
+    }
+
+    #[test]
+    fn queue_kinds_agree_on_a_mixed_program() {
+        fn drive(kind: QueueKind) -> Vec<(u64, u32)> {
+            let mut sim = Simulation::with_queue_kind(Vec::new(), kind);
+            for i in 0..20u32 {
+                let t = SimTime::from_millis(u64::from(i % 5));
+                sim.schedule_at(t, move |log: &mut Vec<(u64, u32)>, ctx| {
+                    log.push((ctx.now().as_nanos(), i));
+                    if i % 3 == 0 {
+                        ctx.after(SimDuration::from_millis(2), move |log: &mut Vec<_>, ctx| {
+                            log.push((ctx.now().as_nanos(), 100 + i));
+                        });
+                    }
+                });
+            }
+            sim.run();
+            sim.into_state()
+        }
+        assert_eq!(drive(QueueKind::Calendar), drive(QueueKind::Reference));
+    }
+
+    #[test]
+    fn periodic_rearm_sequences_after_handler_events() {
+        // The rearm must take its seq *after* events the handler schedules,
+        // so a same-time follower dispatches before the next tick's peers.
+        let mut sim = Simulation::new(Vec::new());
+        sim.schedule_periodic(SimDuration::from_secs(1), |log: &mut Vec<&str>, ctx| {
+            log.push("tick");
+            ctx.after(SimDuration::from_secs(1), |log: &mut Vec<&str>, _| log.push("follow"));
+            if log.iter().filter(|s| **s == "tick").count() < 2 {
+                Some(SimDuration::from_secs(1))
+            } else {
+                None
+            }
+        });
+        sim.run();
+        assert_eq!(*sim.state(), vec!["tick", "follow", "tick", "follow"]);
     }
 }

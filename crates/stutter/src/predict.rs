@@ -112,7 +112,7 @@ impl FailurePredictor {
     /// slope in fraction/second).
     fn fit(&self) -> (f64, f64) {
         let n = self.samples.len() as f64;
-        // fslint: allow(panic-path) — fit() runs only once samples.len() >= min_samples >= 2
+        // fit() runs only once samples.len() >= min_samples >= 2.
         let t0 = self.samples.front().expect("non-empty").0;
         let xs: Vec<f64> = self.samples.iter().map(|&(t, _)| (t - t0).as_secs_f64()).collect();
         let ys: Vec<f64> = self.samples.iter().map(|&(_, y)| y).collect();
@@ -121,7 +121,7 @@ impl FailurePredictor {
         let sxx: f64 = xs.iter().map(|x| (x - mean_x).powi(2)).sum();
         let sxy: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - mean_x) * (y - mean_y)).sum();
         let slope = if sxx > 0.0 { sxy / sxx } else { 0.0 };
-        // fslint: allow(panic-path) — xs mirrors samples, which is non-empty (see t0 above)
+        // xs mirrors samples, which is non-empty (see t0 above).
         let latest_x = *xs.last().expect("non-empty");
         let level = mean_y + slope * (latest_x - mean_x);
         (level, slope)

@@ -5,6 +5,11 @@
 //! each benchmark a fixed number of warm-up and measurement iterations and
 //! prints mean wall-clock time per iteration — useful for coarse
 //! comparisons, not statistically rigorous measurement.
+//!
+//! Like real criterion, passing `--test` (`cargo bench -- --test`) runs
+//! each benchmark once as a smoke check instead of measuring — CI uses
+//! this to keep bench binaries compiling and running without paying for
+//! measurement iterations.
 
 use std::time::{Duration, Instant};
 
@@ -17,7 +22,8 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { measurement_iters: 10 }
+        let smoke = std::env::args().any(|a| a == "--test");
+        Criterion { measurement_iters: if smoke { 1 } else { 10 } }
     }
 }
 
