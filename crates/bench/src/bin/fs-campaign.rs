@@ -8,7 +8,7 @@
 //! mismatch between the two runs.
 //!
 //! ```text
-//! fs-campaign                         # full 216-scenario campaign
+//! fs-campaign                         # full 360-scenario campaign
 //! fs-campaign --smoke                 # reduced campaign, run twice, CI gate
 //! fs-campaign --seed 7 --threads 8    # different seed tree, more workers
 //! fs-campaign --scenario raid/gc      # only labels containing "raid/gc"

@@ -2,7 +2,9 @@
 //!
 //! A campaign enumerates the cross-product of every §2 phenomenon class,
 //! every mechanism under test (the §3.2 RAID controllers, push/pull work
-//! queues, duplicate-issue hedging), and a range of replicate seeds; runs
+//! queues, duplicate-issue hedging, the gossiped performance plane, and
+//! the metastable closed-loop client population), and a range of
+//! replicate seeds; runs
 //! each cell under model and metamorphic oracles; and folds the results
 //! into a single digest suitable for golden pinning.
 //!
@@ -68,7 +70,7 @@ pub struct CampaignConfig {
 }
 
 impl CampaignConfig {
-    /// The full campaign: 12 injectors × 3 mechanisms × 6 replicates = 216
+    /// The full campaign: 12 injectors × 5 mechanisms × 6 replicates = 360
     /// scenarios, the paper's §3.2 parameters (N = 4 pairs at 10 MB/s).
     pub fn standard(master_seed: u64) -> Self {
         CampaignConfig {
@@ -90,7 +92,7 @@ impl CampaignConfig {
         }
     }
 
-    /// A reduced campaign for tier-1 CI: 2 replicates (72 scenarios) and a
+    /// A reduced campaign for tier-1 CI: 2 replicates (120 scenarios) and a
     /// smaller write workload, identical in structure to [`standard`].
     ///
     /// [`standard`]: CampaignConfig::standard
@@ -258,7 +260,7 @@ mod tests {
     fn tiny_campaign_is_violation_free() {
         let report = run_campaign(&tiny(7, 4));
         assert!(report.violations.is_empty(), "violations: {:#?}", report.violations);
-        assert_eq!(report.results.len(), 48); // 12 injectors × 4 kinds × 1 replicate
+        assert_eq!(report.results.len(), 60); // 12 injectors × 5 kinds × 1 replicate
     }
 
     #[test]

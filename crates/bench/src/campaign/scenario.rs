@@ -10,6 +10,9 @@ use super::digest::Fnv64;
 use super::CampaignConfig;
 use adapt::oracle as qoracle;
 use adapt::prelude::*;
+use metastable::oracle as moracle;
+use metastable::policy::{BreakerConfig, Mitigation, ShedConfig};
+use metastable::server::trigger_window;
 use perfplane::oracle as poracle;
 use perfplane::prelude::*;
 use raidsim::oracle as roracle;
@@ -35,6 +38,12 @@ pub enum Kind {
     /// controller, with the injector applied to the plane's own carrier
     /// links (`perfplane`).
     Plane,
+    /// A closed-loop client population with timeouts and retries over a
+    /// bounded server queue, the injector windowed into a transient
+    /// capacity trigger; run unmitigated and under load-shedding and
+    /// circuit-breaker policies, with sustaining-effect oracles
+    /// (`metastable`).
+    Metastable,
 }
 
 impl Kind {
@@ -45,12 +54,13 @@ impl Kind {
             Kind::Queue => "queue",
             Kind::Hedge => "hedge",
             Kind::Plane => "plane",
+            Kind::Metastable => "meta",
         }
     }
 
     /// All kinds, in enumeration order.
-    pub fn all() -> [Kind; 4] {
-        [Kind::Raid, Kind::Queue, Kind::Hedge, Kind::Plane]
+    pub fn all() -> [Kind; 5] {
+        [Kind::Raid, Kind::Queue, Kind::Hedge, Kind::Plane, Kind::Metastable]
     }
 }
 
@@ -271,6 +281,7 @@ pub fn run_scenario(sc: &Scenario, cfg: &CampaignConfig) -> ScenarioResult {
         Kind::Queue => run_queue(&profile, cfg, &mut metrics, &mut checks),
         Kind::Hedge => run_hedge(&profile, cfg, &mut metrics, &mut checks),
         Kind::Plane => run_plane_cell(sc, cfg, &rng, &mut metrics, &mut checks),
+        Kind::Metastable => run_metastable(&profile, &rng, &mut metrics, &mut checks),
     }
 
     ScenarioResult::new(sc.id, label, metrics, checks)
@@ -762,4 +773,86 @@ fn run_plane_cell(
     }
     chk_plane(checks, "plane/no-false-fail-stop", &poracle::check_no_false_failstop(&fresh));
     chk_plane(checks, "plane/monotone-staleness", &poracle::check_monotone(&fresh));
+}
+
+fn chk_meta(checks: &mut Vec<CheckResult>, name: &'static str, r: Result<(), moracle::Violation>) {
+    match r {
+        Ok(()) => {
+            checks.push(CheckResult { oracle: name.into(), passed: true, detail: String::new() })
+        }
+        Err(v) => {
+            checks.push(CheckResult { oracle: v.oracle.into(), passed: false, detail: v.detail })
+        }
+    }
+}
+
+/// The metastable cell: a closed-loop client population (13k clients,
+/// ~0.65 utilisation, naive 3-attempt exponential-backoff retries)
+/// against a bounded queue whose capacity runs under the scenario's
+/// injector, *windowed* into a transient trigger — the run's [60 s, 90 s)
+/// replays the injector's first 3 000 s of component life at 100×
+/// compression, and any fail-stop becomes a zero-capacity segment that
+/// ends with the window.
+///
+/// Three variants per cell: unmitigated, depth/age load shedding, and a
+/// windowed circuit breaker. The sustaining-effect oracles then check
+/// that collapse only ever outlives the trigger where the fluid model
+/// predicts it can, and that both mitigations restore the stable regime
+/// within the recovery deadline.
+fn run_metastable(
+    profile: &SlowdownProfile,
+    rng: &Stream,
+    metrics: &mut Vec<(&'static str, Metric)>,
+    checks: &mut Vec<CheckResult>,
+) {
+    let mcfg = metastable::engine::Config::campaign();
+    let params = moracle::OracleParams::default();
+    let trigger =
+        trigger_window(profile, SimTime::from_secs(60), SimDuration::from_secs(30), 100.0);
+
+    let variant = |mit: Mitigation, stream: &str| {
+        let mut vrng = rng.derive(stream);
+        let tr = metastable::engine::run(&mcfg, &trigger, mit, &mut vrng);
+        let a = moracle::assess(&mcfg, &tr, &params);
+        (tr, a)
+    };
+    let (un_tr, un_a) = variant(Mitigation::None, "meta-unmitigated");
+    let shed = Mitigation::Shed(ShedConfig { max_depth: 1_000, drop_expired: true });
+    let (sh_tr, sh_a) = variant(shed, "meta-shed");
+    let breaker = Mitigation::Breaker(BreakerConfig {
+        window_ticks: 100,
+        open_threshold: 0.5,
+        half_open_threshold: 0.1,
+        min_failures: 50,
+        min_failures_half: 20,
+        probe_per_tick: 2,
+        half_open_per_tick: 50,
+    });
+    let (br_tr, br_a) = variant(breaker, "meta-breaker");
+
+    let (trig_first, trig_last) = un_a.trigger_secs.map_or((u64::MAX, u64::MAX), |(a, b)| (a, b));
+    metrics.push(("meta_trigger_first_s", Metric::U64(trig_first)));
+    metrics.push(("meta_trigger_last_s", Metric::U64(trig_last)));
+    metrics.push(("meta_predicted_vulnerable", Metric::U64(u64::from(un_a.predicted_vulnerable))));
+    metrics.push(("meta_baseline_per_s", Metric::F64(un_a.baseline_per_sec)));
+    metrics.push(("meta_unmit_goodput", Metric::U64(un_tr.total_goodput())));
+    metrics.push(("meta_unmit_regime", Metric::U64(un_a.regime.code())));
+    metrics.push(("meta_unmit_collapsed_s", Metric::U64(un_a.collapsed_secs_post)));
+    metrics.push(("meta_shed_goodput", Metric::U64(sh_tr.total_goodput())));
+    metrics.push(("meta_shed_recovery_s", Metric::U64(sh_a.recovery_secs.unwrap_or(u64::MAX))));
+    metrics.push(("meta_breaker_goodput", Metric::U64(br_tr.total_goodput())));
+    metrics.push(("meta_breaker_recovery_s", Metric::U64(br_a.recovery_secs.unwrap_or(u64::MAX))));
+
+    chk_meta(checks, "meta/conservation", moracle::check_conservation(&mcfg, &un_tr));
+    chk_meta(checks, "meta/conservation", moracle::check_conservation(&mcfg, &sh_tr));
+    chk_meta(checks, "meta/conservation", moracle::check_conservation(&mcfg, &br_tr));
+    chk_meta(checks, "meta/capacity", moracle::check_capacity(&un_tr));
+    chk_meta(checks, "meta/capacity", moracle::check_capacity(&sh_tr));
+    chk_meta(checks, "meta/capacity", moracle::check_capacity(&br_tr));
+    chk_meta(checks, "meta/no-trigger-stable", moracle::check_no_trigger_stable(&un_a));
+    chk_meta(checks, "meta/prediction", moracle::check_prediction(&un_a));
+    chk_meta(checks, "meta/shed-recovers", moracle::check_mitigation_recovers(&sh_a, &params));
+    chk_meta(checks, "meta/breaker-recovers", moracle::check_mitigation_recovers(&br_a, &params));
+    chk_meta(checks, "meta/shed-breaks-loop", moracle::check_mitigation_effective(&un_a, &sh_a));
+    chk_meta(checks, "meta/breaker-breaks-loop", moracle::check_mitigation_effective(&un_a, &br_a));
 }

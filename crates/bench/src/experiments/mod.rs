@@ -10,6 +10,7 @@ pub mod cpu;
 pub mod disks;
 pub mod engine;
 pub mod future_work;
+pub mod metastable_exp;
 pub mod model_exp;
 pub mod network;
 pub mod plane;
@@ -20,7 +21,7 @@ use crate::report::Report;
 /// A registered experiment.
 #[derive(Clone)]
 pub struct Experiment {
-    /// Stable identifier (`e01` ... `e35`).
+    /// Stable identifier (`e01` ... `e36`).
     pub id: &'static str,
     /// Stable kebab-case slug used for artifact filenames
     /// (`BENCH_<slug>.json`, CSV stems).
@@ -280,6 +281,13 @@ pub fn all() -> Vec<Experiment> {
             title: "Event-engine throughput: calendar queue vs binary-heap oracle",
             source: "infrastructure (enables Sections 3.1-3.2 at scale)",
             run: engine::e35_engine,
+        },
+        Experiment {
+            id: "e36",
+            slug: "metastable",
+            title: "Metastable collapse: retry-loop ignition/recovery hysteresis and mitigations",
+            source: "Section 2 phenomena driving a Section 4 adaptation question",
+            run: metastable_exp::e36_metastable,
         },
     ]
 }

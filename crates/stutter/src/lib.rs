@@ -73,7 +73,7 @@ pub mod prelude {
     pub use crate::injector::{DurationDist, FactorDist, Injector, SlowdownProfile};
     pub use crate::monitor::{fit_spec, Monitor, MonitorEvent, SpecFidelity};
     pub use crate::oracle::{check_export_agreement, predict_export, ExportPrediction};
-    pub use crate::predict::{FailurePredictor, Prediction, PredictorConfig};
+    pub use crate::predict::{FailurePredictor, Prediction, PredictorConfig, Trend};
     pub use crate::registry::{Notification, Registry};
     pub use crate::spec::PerfSpec;
 }

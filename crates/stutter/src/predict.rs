@@ -52,6 +52,18 @@ pub struct Prediction {
     pub decline_per_window: f64,
 }
 
+/// A fitted capacity trend over the current window — the
+/// subscriber-facing view of the predictor's internal estimate.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Trend {
+    /// Time of the newest observation in the window.
+    pub at: SimTime,
+    /// Fitted delivered-fraction level at that time.
+    pub level: f64,
+    /// Estimated decline per window-length (positive = deteriorating).
+    pub decline_per_window: f64,
+}
+
 /// Watches one component's delivered-performance fraction and predicts
 /// impending absolute failure.
 #[derive(Clone, Debug)]
@@ -111,9 +123,12 @@ impl FailurePredictor {
     /// Least-squares fit over the window: returns (latest fitted level,
     /// slope in fraction/second).
     fn fit(&self) -> (f64, f64) {
+        // fit() only runs with samples.len() >= min_samples >= 2, but the
+        // path is injector-reachable, so guard instead of expecting.
+        let Some(&(t0, _)) = self.samples.front() else {
+            return (1.0, 0.0);
+        };
         let n = self.samples.len() as f64;
-        // fit() runs only once samples.len() >= min_samples >= 2.
-        let t0 = self.samples.front().expect("non-empty").0;
         let xs: Vec<f64> = self.samples.iter().map(|&(t, _)| (t - t0).as_secs_f64()).collect();
         let ys: Vec<f64> = self.samples.iter().map(|&(_, y)| y).collect();
         let mean_x = xs.iter().sum::<f64>() / n;
@@ -121,10 +136,39 @@ impl FailurePredictor {
         let sxx: f64 = xs.iter().map(|x| (x - mean_x).powi(2)).sum();
         let sxy: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - mean_x) * (y - mean_y)).sum();
         let slope = if sxx > 0.0 { sxy / sxx } else { 0.0 };
-        // xs mirrors samples, which is non-empty (see t0 above).
-        let latest_x = *xs.last().expect("non-empty");
+        let latest_x = xs.last().copied().unwrap_or(0.0);
         let level = mean_y + slope * (latest_x - mean_x);
         (level, slope)
+    }
+
+    /// The current least-squares trend over the window — the public hook
+    /// for trend-threshold subscribers such as early load shedders
+    /// (ROADMAP: "prediction as the load-shedding trigger").
+    ///
+    /// Unlike [`observe`](Self::observe)'s one-shot [`Prediction`], this
+    /// is a continuous view: it reports the fitted level and decline on
+    /// every call once `min_samples` observations are buffered (and
+    /// `None` before that), regardless of whether a prediction fired.
+    pub fn trend(&self) -> Option<Trend> {
+        if self.samples.len() < self.config.min_samples {
+            return None;
+        }
+        let &(at, _) = self.samples.back()?;
+        let (level, slope_per_sec) = self.fit();
+        let decline = -slope_per_sec * self.config.window.as_secs_f64();
+        Some(Trend { at, level, decline_per_window: decline })
+    }
+
+    /// True while the current trend is at or below `level` **and**
+    /// declining at least `decline_per_window` — the arming condition
+    /// for trend subscribers. This re-evaluates on every call, so a
+    /// subscriber disarms again once the component recovers (the
+    /// one-shot prediction never un-fires).
+    pub fn trend_crossed(&self, level: f64, decline_per_window: f64) -> bool {
+        match self.trend() {
+            Some(t) => t.level <= level && t.decline_per_window >= decline_per_window,
+            None => false,
+        }
     }
 
     /// The prediction, if one has fired.
@@ -219,6 +263,57 @@ mod tests {
             let frac = if (20..23).contains(&i) { 0.85 } else { 1.0 };
             assert_eq!(p.observe(SimTime::from_secs(i * 10), frac), None, "sample {i}");
         }
+    }
+
+    #[test]
+    fn trend_hook_none_until_min_samples_then_tracks_decline() {
+        let mut p = FailurePredictor::new(config());
+        for i in 0..4u64 {
+            p.observe(SimTime::from_secs(i * 10), 1.0 - i as f64 * 0.01);
+            assert_eq!(p.trend(), None, "sample {i}: below min_samples");
+        }
+        for i in 4..40u64 {
+            p.observe(SimTime::from_secs(i * 10), 1.0 - i as f64 * 0.01);
+            let t = p.trend().expect("window full");
+            assert_eq!(t.at, SimTime::from_secs(i * 10));
+            assert!(t.decline_per_window > 0.0, "decline must be positive on a decaying series");
+        }
+    }
+
+    #[test]
+    fn trend_crossing_arms_no_later_than_prediction() {
+        // A subscriber shedding on the same thresholds the predictor uses
+        // must arm no later than the one-shot prediction fires.
+        let mut p = FailurePredictor::new(config());
+        let mut armed_at = None;
+        let mut fired_at = None;
+        for i in 0..100u64 {
+            let frac = (1.0 - i as f64 * 0.01).max(0.0);
+            let pred = p.observe(SimTime::from_secs(i * 10), frac);
+            if armed_at.is_none() && p.trend_crossed(0.9, 0.05) {
+                armed_at = Some(i);
+            }
+            if let Some(pr) = pred {
+                fired_at = Some(pr.at);
+                break;
+            }
+        }
+        let armed = armed_at.expect("trend must cross on a clear decline");
+        let fired = fired_at.expect("prediction must fire on a clear decline");
+        assert!(SimTime::from_secs(armed * 10) <= fired, "armed {armed} after fire {fired}");
+    }
+
+    #[test]
+    fn trend_disarms_when_component_recovers() {
+        let mut p = FailurePredictor::new(config());
+        for i in 0..30u64 {
+            p.observe(SimTime::from_secs(i * 10), (1.0 - i as f64 * 0.02).max(0.0));
+        }
+        assert!(p.trend_crossed(0.9, 0.05), "must be armed mid-decline");
+        for i in 30..60u64 {
+            p.observe(SimTime::from_secs(i * 10), 1.0);
+        }
+        assert!(!p.trend_crossed(0.9, 0.05), "must disarm after recovery");
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! | [`adapt`] | adaptive mechanisms: AIMD, distributed queues, hedging, availability |
 //! | [`cluster`] | parallel workloads: NOW-Sort-style sort, replicated hash table |
 //! | [`perfplane`] | cluster-wide performance-state plane: gossip, staleness-aware views, consumers |
+//! | [`metastable`] | closed-loop client populations: retry storms, metastable collapse, mitigation policies |
 //!
 //! # Quickstart
 //!
@@ -50,6 +51,7 @@ pub use adapt;
 pub use blockdev;
 pub use cluster;
 pub use cpusim;
+pub use metastable;
 pub use netsim;
 pub use perfplane;
 pub use raidsim;

@@ -19,7 +19,7 @@ use fs_bench::campaign::{run_campaign, CampaignConfig};
 use simcore::queue::{default_queue_kind, set_default_queue_kind, QueueKind};
 
 /// `fs-campaign --smoke` (master seed 42) — same pin as campaign_smoke.
-const GOLDEN_SMOKE_DIGEST: u64 = 0xd3d9_b5c3_f985_0889;
+const GOLDEN_SMOKE_DIGEST: u64 = 0xbd73_a9d3_ca4d_7881;
 
 #[test]
 fn smoke_digest_is_identical_under_both_queue_kinds() {

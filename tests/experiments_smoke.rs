@@ -94,3 +94,8 @@ fn e32_chunk_ablation() {
 fn e33_persistence_ablation() {
     run("e33");
 }
+
+#[test]
+fn e36_metastable() {
+    run("e36");
+}
