@@ -176,7 +176,10 @@ pub fn e31_raid_on_metal() -> Report {
     let build = || {
         let pairs: Vec<MechPair> = (0..4)
             .map(|i| {
-                let root = Stream::from_seed(i);
+                // Rooted on the experiment's own literal seed, not the
+                // loop index: `from_seed(i)` would silently re-key every
+                // pair's disks if the loop were ever reordered or grown.
+                let root = Stream::from_seed(0xE31).derive_index(i as u64);
                 let mut a = Disk::new(Geometry::barracuda_7200(), root.derive("raid-exp.a"));
                 let b = Disk::new(Geometry::barracuda_7200(), root.derive("raid-exp.b"));
                 if i == 0 {

@@ -61,6 +61,13 @@ impl Baseline {
         self.entries.is_empty()
     }
 
+    /// The `(rule, path)` keys this baseline records debt for. The engine
+    /// uses these to spot suppressions that only silence baselined
+    /// findings ([`crate::rules::id::SUPPRESSION_STALE`]).
+    pub fn keys(&self) -> impl Iterator<Item = &(String, String)> {
+        self.entries.keys()
+    }
+
     /// Splits `findings` into new (beyond the recorded counts) and reports
     /// under-used keys as stale.
     pub fn apply(&self, findings: Vec<Finding>) -> BaselineDiff {

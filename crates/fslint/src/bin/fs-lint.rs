@@ -1,34 +1,48 @@
 //! `fs-lint` — the tier-0 determinism gate (see the `fslint` crate docs).
 //!
 //! ```text
-//! fs-lint [--root DIR] [--json] [--out FILE] [--graph-out FILE]
-//!         [--allow RULE]...
+//! fs-lint [--root DIR] [--format text|json|sarif] [--json] [--out FILE]
+//!         [--graph-out FILE] [--allow RULE]...
 //!         [--baseline FILE [--prune-baseline] | --write-baseline FILE]
 //!         [--list-rules] [FILE...]
 //! ```
 //!
 //! With no `FILE` arguments the whole workspace under `--root` (default:
-//! the current directory) is scanned. `--out` always writes the JSON
-//! report to the given file (for CI artifacts) in addition to the chosen
-//! stdout format; `--graph-out` writes the workspace call graph the
-//! scoping was derived from. `--write-baseline` records the findings of
-//! this run as accepted debt and exits 0; `--baseline` fails only on
-//! findings beyond that recorded debt and reports fixed-but-still-listed
-//! entries as stale, and `--prune-baseline` rewrites the baseline file
-//! with those stale entries dropped (see the crate's `baseline` module
-//! docs). Exit status: 0 clean, 1 findings, 2 usage error.
+//! the current directory) is scanned. `--format` picks the stdout
+//! rendering: line-oriented `text` (default), the `json` report (`--json`
+//! is a shorthand), or a SARIF 2.1.0 document (`sarif`) GitHub code
+//! scanning can annotate PRs from. `--out` always writes the JSON report
+//! to the given file (for CI artifacts) in addition to the chosen stdout
+//! format; `--graph-out` writes the workspace call graph the scoping was
+//! derived from, including the per-function taint summaries.
+//! `--write-baseline` records the findings of this run as accepted debt
+//! and exits 0; `--baseline` fails only on findings beyond that recorded
+//! debt and reports fixed-but-still-listed entries as stale, and
+//! `--prune-baseline` rewrites the baseline file with those stale entries
+//! dropped (see the crate's `baseline` module docs). The baseline is read
+//! *before* linting so the engine can flag suppressions that only silence
+//! baselined findings as `suppression-stale`. Exit status: 0 clean, 1
+//! findings, 2 usage error.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use fslint::baseline::Baseline;
-use fslint::{engine, Config};
+use fslint::{engine, sarif, Config};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+/// Stdout rendering selected by `--format`.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
+
 fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
-    let mut json = false;
+    let mut format = Format::Text;
     let mut out_file: Option<PathBuf> = None;
     let mut cfg = Config::default();
     let mut files: Vec<PathBuf> = Vec::new();
@@ -44,7 +58,18 @@ fn main() -> ExitCode {
                 let Some(v) = args.next() else { return usage("--root needs a value") };
                 root = PathBuf::from(v);
             }
-            "--json" => json = true,
+            "--json" => format = Format::Json,
+            "--format" => {
+                let Some(v) = args.next() else {
+                    return usage("--format needs one of text, json, sarif");
+                };
+                format = match v.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    "sarif" => Format::Sarif,
+                    other => return usage(&format!("unknown format `{other}`")),
+                };
+            }
             "--out" => {
                 let Some(v) = args.next() else { return usage("--out needs a value") };
                 out_file = Some(PathBuf::from(v));
@@ -81,8 +106,8 @@ fn main() -> ExitCode {
             "-h" | "--help" => {
                 println!(
                     "fs-lint: workspace determinism auditor\n\n\
-                     usage: fs-lint [--root DIR] [--json] [--out FILE] [--graph-out FILE] \
-                     [--allow RULE]... \
+                     usage: fs-lint [--root DIR] [--format text|json|sarif] [--json] \
+                     [--out FILE] [--graph-out FILE] [--allow RULE]... \
                      [--baseline FILE [--prune-baseline] | --write-baseline FILE] \
                      [--list-rules] [FILE...]"
                 );
@@ -99,6 +124,32 @@ fn main() -> ExitCode {
     if prune_baseline && baseline_file.is_none() {
         return usage("--prune-baseline needs --baseline FILE");
     }
+
+    // The baseline is parsed up front: the engine needs its (rule, path)
+    // keys while linting to tell a load-bearing suppression from one that
+    // only re-silences recorded debt.
+    let baseline = match &baseline_file {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("fs-lint: cannot read {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            match Baseline::parse(&text) {
+                Ok(b) => {
+                    cfg.baselined = b.keys().cloned().collect();
+                    Some(b)
+                }
+                Err(e) => {
+                    eprintln!("fs-lint: bad baseline {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        None => None,
+    };
 
     let mut report = if files.is_empty() {
         engine::lint_workspace(&root, &cfg)
@@ -129,21 +180,7 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    if let Some(path) = &baseline_file {
-        let text = match std::fs::read_to_string(path) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("fs-lint: cannot read {}: {e}", path.display());
-                return ExitCode::from(2);
-            }
-        };
-        let b = match Baseline::parse(&text) {
-            Ok(b) => b,
-            Err(e) => {
-                eprintln!("fs-lint: bad baseline {}: {e}", path.display());
-                return ExitCode::from(2);
-            }
-        };
+    if let (Some(b), Some(path)) = (&baseline, &baseline_file) {
         let diff = b.apply(std::mem::take(&mut report.findings));
         if prune_baseline && !diff.stale.is_empty() {
             let pruned = b.pruned(&diff.stale);
@@ -175,10 +212,10 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     }
-    if json {
-        print!("{}", engine::render_json(&report));
-    } else {
-        print!("{}", engine::render_text(&report));
+    match format {
+        Format::Json => print!("{}", engine::render_json(&report)),
+        Format::Sarif => print!("{}", sarif::render(&report)),
+        Format::Text => print!("{}", engine::render_text(&report)),
     }
 
     if report.is_clean() {
@@ -191,8 +228,8 @@ fn main() -> ExitCode {
 fn usage(msg: &str) -> ExitCode {
     eprintln!("fs-lint: {msg}");
     eprintln!(
-        "usage: fs-lint [--root DIR] [--json] [--out FILE] [--graph-out FILE] \
-         [--allow RULE]... \
+        "usage: fs-lint [--root DIR] [--format text|json|sarif] [--json] [--out FILE] \
+         [--graph-out FILE] [--allow RULE]... \
          [--baseline FILE [--prune-baseline] | --write-baseline FILE] [FILE...]"
     );
     ExitCode::from(2)

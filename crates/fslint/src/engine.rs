@@ -3,14 +3,20 @@
 //! The engine runs in two phases. Phase one walks `crates/`, `src/`,
 //! `tests/`, and `examples/` under the workspace root (skipping `vendor/`,
 //! build `target/`s, and lint-test `fixtures/` trees) and lexes + parses
-//! every `.rs` file. Phase two builds the workspace call graph
-//! ([`crate::graph`]) over the whole set, then runs the per-file rules with
-//! graph-derived scopes, the whole-program rules (`oracle-coverage`,
-//! `dead-scenario`), and inline suppressions — reporting any suppression
-//! that no longer silences a finding as `suppression-stale`. Output is
-//! deterministic: files are visited in sorted order and findings are
-//! sorted by (path, line, rule).
+//! every `.rs` file — sharded over worker threads, with each file's result
+//! landing in its own pre-assigned slot so the unit order (and therefore
+//! every downstream id and finding) is identical to a sequential scan.
+//! Phase two builds the workspace call graph ([`crate::graph`]) over the
+//! whole set, then runs the per-file rules with graph-derived scopes, the
+//! whole-program rules (`oracle-coverage`, `dead-scenario`), the
+//! interprocedural taint analysis ([`crate::flow`]: `digest-taint`,
+//! `rng-lineage`, `oracle-taint`), and inline suppressions — reporting any
+//! suppression that no longer silences a finding (or only silences
+//! findings already recorded in the baseline) as `suppression-stale`.
+//! Output is deterministic regardless of sharding: units keep the sorted
+//! file order and findings are sorted by (path, line, rule) before emit.
 
+use crate::flow;
 use crate::graph::{FileScope, FileUnit, Graph};
 use crate::rules::{self, FileCtx, Finding, LabelSite};
 use crate::sem;
@@ -18,6 +24,8 @@ use crate::suppress;
 use std::collections::BTreeSet;
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Directory names never descended into.
 const SKIP_DIRS: &[&str] = &["vendor", "target", "fixtures", ".git"];
@@ -32,6 +40,11 @@ pub struct Config {
     pub allow: BTreeSet<String>,
     /// Export the call graph in the report (`--graph-out`).
     pub graph_json: bool,
+    /// `(rule, path)` keys the active baseline records debt for. A
+    /// suppression whose every silenced finding is covered here is
+    /// redundant — the baseline would have filtered those findings anyway
+    /// — and is reported `suppression-stale` instead of counting as used.
+    pub baselined: BTreeSet<(String, String)>,
 }
 
 /// A completed lint run.
@@ -88,18 +101,47 @@ pub fn lint_workspace(root: &Path, cfg: &Config) -> Report {
 pub fn lint_paths(root: &Path, files: &[PathBuf], cfg: &Config) -> Report {
     let mut findings = Vec::new();
 
-    // Phase one: read, lex, and parse every file.
-    let mut units: Vec<FileUnit> = Vec::new();
-    for file in files {
-        let rel = file.strip_prefix(root).unwrap_or(file);
-        let path = rel.to_string_lossy().replace('\\', "/");
-        match fs::read_to_string(file) {
-            Ok(source) => units.push(FileUnit::new(path, &source)),
-            Err(e) => findings.push(Finding {
+    // Phase one: read, lex, and parse every file, sharded over worker
+    // threads. Each file's result lands in the slot matching its position
+    // in the (sorted) input list, so the assembled `units` vector — and
+    // with it every node id, scope, and finding downstream — is identical
+    // to what a sequential scan would produce, whatever the interleaving.
+    type ScanSlot = Option<Result<FileUnit, (String, String)>>;
+    let workers = std::thread::available_parallelism().map_or(1, |n| n.get()).min(8);
+    let cursor = AtomicUsize::new(0);
+    let slots: Mutex<Vec<ScanSlot>> = Mutex::new(files.iter().map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(files.len().max(1)) {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(file) = files.get(i) else { break };
+                let rel = file.strip_prefix(root).unwrap_or(file);
+                let path = rel.to_string_lossy().replace('\\', "/");
+                let slot = match fs::read_to_string(file) {
+                    Ok(source) => Ok(FileUnit::new(path, &source)),
+                    Err(e) => Err((path, format!("could not read file: {e}"))),
+                };
+                slots.lock().unwrap_or_else(|p| p.into_inner())[i] = Some(slot);
+            });
+        }
+    });
+    let mut units: Vec<FileUnit> = Vec::with_capacity(files.len());
+    for slot in slots.into_inner().unwrap_or_else(|p| p.into_inner()) {
+        match slot {
+            Some(Ok(unit)) => units.push(unit),
+            Some(Err((path, message))) => findings.push(Finding {
                 path,
                 line: 0,
                 rule: rules::id::MALFORMED_SUPPRESSION,
-                message: format!("could not read file: {e}"),
+                message,
+            }),
+            // A worker died mid-file (its panic was contained by the
+            // scope); surface the gap rather than silently under-linting.
+            None => findings.push(Finding {
+                path: String::new(),
+                line: 0,
+                rule: rules::id::MALFORMED_SUPPRESSION,
+                message: "internal: a scan shard dropped a file".to_string(),
             }),
         }
     }
@@ -110,9 +152,13 @@ pub fn lint_paths(root: &Path, files: &[PathBuf], cfg: &Config) -> Report {
     // only the everywhere rules apply.
     let graph = Graph::build(&units);
     let graph_mode = graph.has_entries();
-    let graph_json = cfg.graph_json.then(|| graph.render_json(&units));
-    let program_findings =
+    // The taint analysis needs edges, not entry roots — it runs on every
+    // set, so single-file and fixture runs still prove their flows.
+    let (flow_findings, taint) = flow::analyze(&units, &graph);
+    let graph_json = cfg.graph_json.then(|| graph.render_json(&units, &taint));
+    let mut program_findings =
         if graph_mode { graph.whole_program_findings(&units) } else { Vec::new() };
+    program_findings.extend(flow_findings);
 
     let mut sites: Vec<LabelSite> = Vec::new();
     let mut per_file: Vec<(usize, suppress::Scan, Vec<Finding>)> = Vec::new();
@@ -134,21 +180,37 @@ pub fn lint_paths(root: &Path, files: &[PathBuf], cfg: &Config) -> Report {
         let path = units[*i].path.as_str();
         file_findings.extend(label_findings.iter().filter(|f| f.path == path).cloned());
         file_findings.extend(program_findings.iter().filter(|f| f.path == path).cloned());
-        let (kept, used) = suppress::apply(path, scan, std::mem::take(file_findings));
+        let (kept, silenced) = suppress::apply(path, scan, std::mem::take(file_findings));
         findings.extend(kept);
-        for (s, used) in scan.suppressions.iter().zip(used) {
-            if !used {
-                findings.push(Finding {
-                    path: path.to_string(),
-                    line: s.end_line,
-                    rule: rules::id::SUPPRESSION_STALE,
-                    message: format!(
-                        "suppression of `{}` no longer silences any finding — the invariant \
-                         it documented is machine-checked or gone; delete the comment",
-                        s.rules.join(", ")
-                    ),
-                });
-            }
+        for (s, silenced) in scan.suppressions.iter().zip(silenced) {
+            let message = if silenced.is_empty() {
+                format!(
+                    "suppression of `{}` no longer silences any finding — the invariant \
+                     it documented is machine-checked or gone; delete the comment",
+                    s.rules.join(", ")
+                )
+            } else if silenced
+                .iter()
+                .all(|r| cfg.baselined.contains(&(r.to_string(), path.to_string())))
+            {
+                // Without the inline allow, the baseline's (rule, path)
+                // budget would have filtered these findings anyway.
+                format!(
+                    "suppression of `{}` only silences findings the baseline already \
+                     records for this file — recorded debt needs no inline allow; \
+                     delete the comment (or the baseline entry, if the inline \
+                     reason is the one worth keeping)",
+                    s.rules.join(", ")
+                )
+            } else {
+                continue;
+            };
+            findings.push(Finding {
+                path: path.to_string(),
+                line: s.end_line,
+                rule: rules::id::SUPPRESSION_STALE,
+                message,
+            });
         }
     }
 

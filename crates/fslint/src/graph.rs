@@ -546,8 +546,14 @@ impl Graph {
         Some(bfs(&self.edges, mains.into_iter()))
     }
 
-    /// Renders the graph as a JSON document for `--graph-out`.
-    pub fn render_json(&self, units: &[FileUnit]) -> String {
+    /// Renders the graph as a JSON document for `--graph-out`. `taint`
+    /// holds the per-node summaries from [`crate::flow::analyze`],
+    /// aligned with `nodes` (pass `&[]` to omit them all).
+    pub fn render_json(
+        &self,
+        units: &[FileUnit],
+        taint: &[Option<crate::flow::TaintSummary>],
+    ) -> String {
         use crate::engine::json_str;
         let mut out = String::from("{\n  \"nodes\": [");
         for (i, n) in self.nodes.iter().enumerate() {
@@ -555,10 +561,20 @@ impl Graph {
                 out.push(',');
             }
             let module = n.abs_module[1..].join("::");
+            let taint_json = match taint.get(i) {
+                Some(Some(s)) => format!(
+                    "{{\"kind\": {}, \"line\": {}, \"via\": {}, \"what\": {}}}",
+                    json_str(s.kind),
+                    s.line,
+                    s.via.map_or("null".to_string(), |v| v.to_string()),
+                    json_str(&s.what),
+                ),
+                _ => "null".to_string(),
+            };
             out.push_str(&format!(
                 "\n    {{\"id\": {i}, \"crate\": {}, \"module\": {}, \"name\": {}, \
                  \"owner\": {}, \"path\": {}, \"line\": {}, \"test\": {}, \"entry\": {}, \
-                 \"reachable\": {}, \"sched\": {}}}",
+                 \"reachable\": {}, \"sched\": {}, \"taint\": {}}}",
                 json_str(&n.abs_module[0]),
                 json_str(&module),
                 json_str(&n.name),
@@ -569,6 +585,7 @@ impl Graph {
                 self.entries.contains(&i),
                 self.reachable[i],
                 self.sched[i],
+                taint_json,
             ));
         }
         if !self.nodes.is_empty() {

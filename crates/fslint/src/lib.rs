@@ -30,6 +30,9 @@
 //! | `panic-path` | no `unwrap`/`expect`/panic macros/computed indexing in injector-reachable code |
 //! | `oracle-coverage` | every registered scenario class reaches an oracle module |
 //! | `dead-scenario` | no campaign code unreachable from the `fs-campaign` binary |
+//! | `digest-taint` | no nondeterministic value flows (interprocedurally) into a digest fold, golden assertion, or bench artifact |
+//! | `rng-lineage` | every `Stream::from_seed` is literal- or label-rooted, never a loop index or shard id |
+//! | `oracle-taint` | no nondeterministic value flows into an oracle verdict |
 //! | `suppression-stale` | no `fslint: allow(...)` comment that silences nothing |
 //!
 //! `stable-tiebreak` and `panic-path` run on a lightweight semantic model
@@ -42,6 +45,14 @@
 //! everywhere rules apply. The whole-program rules (`oracle-coverage`,
 //! `dead-scenario`) walk the same graph from the campaign's dispatch
 //! roots; `--graph-out FILE` exports the graph a run used.
+//!
+//! The taint rules (`digest-taint`, `rng-lineage`, `oracle-taint`) run an
+//! interprocedural, summary-based flow analysis ([`flow`]) over the same
+//! call graph: per-function summaries ("returns a wall-clock-derived
+//! value") are propagated to a fixpoint, locals and struct fields carry
+//! taint across statements, sorting sanitizes unordered-iteration taint,
+//! and each finding reports the full source→sink call path. Computed
+//! summaries ride along in the `--graph-out` export under `"taint"`.
 //!
 //! ## Suppressions
 //!
@@ -83,11 +94,13 @@
 
 pub mod baseline;
 pub mod engine;
+pub mod flow;
 pub mod graph;
 pub mod lexer;
 pub mod parse;
 pub mod resolve;
 pub mod rules;
+pub mod sarif;
 pub mod sem;
 pub mod suppress;
 

@@ -40,6 +40,15 @@ pub mod id {
     /// Campaign code not reachable from the `fs-campaign` binary
     /// (whole-program, call-graph based).
     pub const DEAD_SCENARIO: &str = "dead-scenario";
+    /// A nondeterministic source value flows into a digest fold, golden
+    /// assertion, or `BENCH_*.json` metric emission (interprocedural,
+    /// taint-summary based; reported with the source→sink call path).
+    pub const DIGEST_TAINT: &str = "digest-taint";
+    /// An RNG stream rooted on a loop index or shard id instead of a
+    /// literal/master seed and a label-rooted `derive(…)` chain.
+    pub const RNG_LINEAGE: &str = "rng-lineage";
+    /// A nondeterministic source value flows into an oracle verdict.
+    pub const ORACLE_TAINT: &str = "oracle-taint";
     /// A valid `fslint: allow(...)` suppression that no longer silences
     /// any finding and should be deleted.
     pub const SUPPRESSION_STALE: &str = "suppression-stale";
@@ -113,6 +122,23 @@ pub const RULES: &[RuleInfo] = &[
         id: id::DEAD_SCENARIO,
         summary: "campaign code must be reachable from the fs-campaign binary — a dead \
                   scenario cell looks covered but never runs",
+    },
+    RuleInfo {
+        id: id::DIGEST_TAINT,
+        summary: "no wall-clock / ambient-RNG / unordered-iteration / pointer-format / \
+                  thread-id / env-read / NaN-fold value may flow (interprocedurally) into a \
+                  digest fold, golden assertion, or bench metric emission",
+    },
+    RuleInfo {
+        id: id::RNG_LINEAGE,
+        summary: "RNG streams must be rooted on a literal or master seed and derived through \
+                  label-rooted derive()/derive_index() chains, never seeded from loop indices \
+                  or shard ids",
+    },
+    RuleInfo {
+        id: id::ORACLE_TAINT,
+        summary: "no nondeterministic source value may flow into an oracle verdict — a \
+                  verdict that depends on the host is not an invariant check",
     },
     RuleInfo {
         id: id::SUPPRESSION_STALE,

@@ -1,0 +1,104 @@
+//! SARIF 2.1.0 rendering of a lint report (`--format sarif`).
+//!
+//! GitHub code scanning ingests SARIF and annotates findings inline on
+//! pull requests, which turns the tier-0 gate's terse CI log into
+//! per-line review comments. Like [`crate::baseline`], the document is
+//! hand-rolled — this crate builds offline, with no serde — and emits
+//! only the subset code scanning reads: the tool driver with its rule
+//! ids, and one `result` per finding with a `ruleId`, a message, and a
+//! physical location. Findings keep the engine's (path, line, rule)
+//! order, so the output is as deterministic as the JSON report.
+
+use crate::engine::{json_str, Report};
+use crate::rules::RULES;
+
+/// Renders the report as a SARIF 2.1.0 document.
+pub fn render(report: &Report) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str(
+        "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/\
+         Schemata/sarif-schema-2.1.0.json\",\n",
+    );
+    out.push_str("  \"runs\": [\n    {\n      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"fs-lint\",\n");
+    out.push_str("          \"informationUri\": \"crates/fslint\",\n");
+    out.push_str("          \"rules\": [");
+    for (i, r) in RULES.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n            {{\"id\": {}, \"shortDescription\": {{\"text\": {}}}}}",
+            json_str(r.id),
+            json_str(r.summary)
+        ));
+    }
+    out.push_str("\n          ]\n        }\n      },\n      \"results\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        // SARIF regions are 1-based; engine-synthesised findings (file
+        // read errors) carry line 0 and clamp to 1.
+        out.push_str(&format!(
+            "\n        {{\"ruleId\": {}, \"level\": \"error\", \
+             \"message\": {{\"text\": {}}}, \"locations\": [{{\"physicalLocation\": \
+             {{\"artifactLocation\": {{\"uri\": {}}}, \"region\": {{\"startLine\": {}}}}}}}]}}",
+            json_str(f.rule),
+            json_str(&f.message),
+            json_str(&f.path),
+            f.line.max(1)
+        ));
+    }
+    if !report.findings.is_empty() {
+        out.push_str("\n      ");
+    }
+    out.push_str("]\n    }\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Finding;
+
+    #[test]
+    fn sarif_document_has_driver_rules_and_results() {
+        let report = Report {
+            findings: vec![Finding {
+                path: "crates/x/src/lib.rs".to_string(),
+                line: 7,
+                rule: crate::rules::id::DIGEST_TAINT,
+                message: "a \"quoted\" message".to_string(),
+            }],
+            files_scanned: 1,
+            graph_json: None,
+        };
+        let doc = render(&report);
+        assert!(doc.contains("\"version\": \"2.1.0\""));
+        assert!(doc.contains("\"name\": \"fs-lint\""));
+        assert!(doc.contains("\"ruleId\": \"digest-taint\""));
+        assert!(doc.contains("\"startLine\": 7"));
+        assert!(doc.contains("a \\\"quoted\\\" message"));
+        // Every registered rule is described in the driver block.
+        for r in RULES {
+            assert!(doc.contains(&format!("\"id\": \"{}\"", r.id)), "{}", r.id);
+        }
+    }
+
+    #[test]
+    fn zero_line_findings_clamp_to_one() {
+        let report = Report {
+            findings: vec![Finding {
+                path: "gone.rs".to_string(),
+                line: 0,
+                rule: crate::rules::id::MALFORMED_SUPPRESSION,
+                message: "could not read file".to_string(),
+            }],
+            files_scanned: 0,
+            graph_json: None,
+        };
+        assert!(render(&report).contains("\"startLine\": 1"));
+    }
+}

@@ -249,6 +249,89 @@ fn bad_baseline_usage_is_a_usage_error() {
 }
 
 #[test]
+fn format_sarif_emits_a_sarif_document() {
+    let out = run(&["--format", "sarif", fixture("unordered_pos.rs").to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "findings still fail the gate");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"version\": \"2.1.0\""), "{text}");
+    assert!(text.contains("\"ruleId\": \"no-unordered-collections\""), "{text}");
+    assert!(text.contains("\"physicalLocation\""), "{text}");
+
+    // A clean run emits an empty results array and exits 0.
+    let out = run(&["--format", "sarif", fixture("wall_clock_neg.rs").to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("\"results\": []"));
+
+    let out = run(&["--format", "yaml"]);
+    assert_eq!(out.status.code(), Some(2), "unknown format is a usage error");
+}
+
+#[test]
+fn suppression_that_only_silences_baselined_findings_is_stale() {
+    // Lifecycle: a suppression and a baseline entry covering the SAME
+    // finding cannot both be load-bearing. The engine flags the
+    // suppression as stale; `--allow` + `--prune-baseline` then resolve
+    // the overlap in favour of the inline reason.
+    let dir = std::env::temp_dir().join("fslint-suppress-baseline-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let file = dir.join("clocky.rs");
+    std::fs::write(
+        &file,
+        "//! Test input: one suppressed wall-clock read.\n\
+         fn measure() {\n\
+             // fslint: allow(no-wall-clock) — calibrates against the host clock\n\
+             let t = std::time::Instant::now();\n\
+             drop(t);\n\
+         }\n",
+    )
+    .unwrap();
+    let baseline = dir.join("baseline.json");
+    let root_arg = dir.to_string_lossy().into_owned();
+    let file_arg = file.to_string_lossy().into_owned();
+
+    // Alone, the suppression silences a live finding: used, gate green.
+    let out = run(&["--root", &root_arg, &file_arg]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stdout));
+
+    // Record the same finding as baseline debt (hand-written: with the
+    // suppression in place, --write-baseline would see nothing).
+    std::fs::write(
+        &baseline,
+        "{\"baseline\": [{\"rule\": \"no-wall-clock\", \"path\": \"clocky.rs\", \"count\": 1}]}",
+    )
+    .unwrap();
+
+    // Now the suppression only re-silences recorded debt: stale, and the
+    // stale finding itself is new relative to the baseline — gate fails.
+    let out = run(&["--root", &root_arg, "--baseline", baseline.to_str().unwrap(), &file_arg]);
+    assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stdout));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("suppression-stale"), "{text}");
+    assert!(text.contains("baseline already records"), "{text}");
+
+    // Resolution: keep the inline reason, drop the baseline entry. The
+    // suppressed finding never reaches the baseline, so its entry is
+    // stale debt and --prune-baseline removes it.
+    let out = run(&[
+        "--root",
+        &root_arg,
+        "--baseline",
+        baseline.to_str().unwrap(),
+        "--prune-baseline",
+        "--allow",
+        "suppression-stale",
+        &file_arg,
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stdout));
+    let rewritten = std::fs::read_to_string(&baseline).unwrap();
+    assert!(!rewritten.contains("clocky.rs"), "overlapping entry survived:\n{rewritten}");
+
+    // Against the pruned baseline the suppression is load-bearing again.
+    let out = run(&["--root", &root_arg, "--baseline", baseline.to_str().unwrap(), &file_arg]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stdout));
+}
+
+#[test]
 fn list_rules_names_all_rules() {
     let out = run(&["--list-rules"]);
     assert_eq!(out.status.code(), Some(0));

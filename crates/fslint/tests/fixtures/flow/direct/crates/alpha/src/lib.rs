@@ -1,0 +1,24 @@
+//! Flow fixture: a wall-clock read flowing straight into a digest fold
+//! in the same function — the shortest possible `digest-taint` path.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+/// A stand-in FNV-1a accumulator; naming `Fnv64` is what makes the
+/// `write_*` calls below digest sinks.
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    /// Folds one word into the digest.
+    pub fn write_u64(&mut self, v: u64) {
+        self.0 ^= v;
+    }
+}
+
+/// Folds the current wall-clock reading — the finding this tree exists
+/// to produce.
+pub fn fold_timestamp() -> u64 {
+    let mut h = Fnv64(0xcbf2_9ce4_8422_2325);
+    let t = std::time::Instant::now().elapsed().as_nanos() as u64;
+    h.write_u64(t);
+    h.0
+}

@@ -1,0 +1,36 @@
+//! Flow fixture: taint laundered through a struct field — the clock is
+//! read in one method, parked in `self.stamp`, and folded from a plain
+//! field read in another function.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+/// A stand-in FNV-1a accumulator.
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    /// Folds one word into the digest.
+    pub fn write_u64(&mut self, v: u64) {
+        self.0 ^= v;
+    }
+}
+
+/// Holds the laundered value between the read and the fold.
+pub struct Cache {
+    /// Looks like ordinary data; actually a wall-clock reading.
+    pub stamp: u64,
+}
+
+impl Cache {
+    /// The source end: assigns the clock into the field.
+    pub fn refresh(&mut self) {
+        let t = std::time::Instant::now().elapsed().as_nanos() as u64;
+        self.stamp = t;
+    }
+}
+
+/// The sink end: no clock in sight, only the field read.
+pub fn fold(c: &Cache) -> u64 {
+    let mut h = Fnv64(0xcbf2_9ce4_8422_2325);
+    h.write_u64(c.stamp);
+    h.0
+}

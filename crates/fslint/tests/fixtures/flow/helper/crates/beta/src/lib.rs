@@ -1,0 +1,24 @@
+//! Flow fixture, sink half: folds a value that is only nondeterministic
+//! two interprocedural hops away (`beta::fold` → `alpha::stamp` →
+//! `alpha::now_nanos`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+/// A stand-in FNV-1a accumulator.
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    /// Folds one word into the digest.
+    pub fn write_u64(&mut self, v: u64) {
+        self.0 ^= v;
+    }
+}
+
+/// The sink: nothing in this function reads a clock, so only the
+/// summary-based analysis can flag it.
+pub fn fold() -> u64 {
+    let mut h = Fnv64(0xcbf2_9ce4_8422_2325);
+    let s = alpha::stamp();
+    h.write_u64(s);
+    h.0
+}

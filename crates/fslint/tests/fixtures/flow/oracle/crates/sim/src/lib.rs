@@ -1,0 +1,20 @@
+//! Flow fixture: nondeterminism reaching an oracle verdict
+//! (`oracle-taint`), plus a clean verdict call that must stay silent.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+pub mod oracle;
+
+/// The tainted caller: hands a wall-clock reading to the oracle. A
+/// verdict that depends on the host machine verifies nothing.
+pub fn run_checked() -> bool {
+    let t = std::time::Instant::now().elapsed().as_nanos() as u64;
+    oracle::plausible(t)
+}
+
+/// The clean caller: the verdict input is a pure function of the
+/// argument — no finding.
+pub fn run_clean(cells: u64) -> bool {
+    let expected = cells * 3;
+    oracle::plausible(expected)
+}

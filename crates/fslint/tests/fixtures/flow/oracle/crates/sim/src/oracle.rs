@@ -1,0 +1,7 @@
+//! The fixture's oracle module: any function defined here builds a
+//! verdict, so tainted arguments at its call sites are `oracle-taint`.
+
+/// Accepts a measurement when it sits in the modeled band.
+pub fn plausible(v: u64) -> bool {
+    v < 1 << 40
+}

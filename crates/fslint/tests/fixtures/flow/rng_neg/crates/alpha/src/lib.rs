@@ -1,0 +1,36 @@
+//! Flow fixture, negative: every stream here is rooted on a literal
+//! master seed or a `*seed*`-named value — `rng-lineage` must stay
+//! silent, loop indices notwithstanding.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+/// A stand-in for `simcore::rng::Stream`.
+pub struct Stream(u64);
+
+impl Stream {
+    /// Roots a stream on an explicit seed.
+    pub fn from_seed(seed: u64) -> Stream {
+        Stream(seed)
+    }
+
+    /// Derives a labeled child stream.
+    pub fn derive(&self, label: &str) -> Stream {
+        Stream(self.0 ^ label.len() as u64)
+    }
+
+    /// Derives an indexed child under this labeled parent.
+    pub fn derive_index(&self, i: u64) -> Stream {
+        Stream(self.0 ^ i)
+    }
+}
+
+/// Label-rooted streams: the literal root plus labeled/indexed children.
+pub fn build(master_seed: u64) -> Vec<Stream> {
+    let root = Stream::from_seed(0x5EED);
+    let named = Stream::from_seed(master_seed);
+    let mut out = vec![named];
+    for i in 0..4u64 {
+        out.push(root.derive("alpha.pair").derive_index(i));
+    }
+    out
+}

@@ -1,0 +1,20 @@
+//! Flow fixture, positive: a stream seeded from the loop index — the
+//! `rng-lineage` finding this tree exists to produce. Reordering or
+//! growing the loop silently re-keys every stream.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+/// A stand-in for `simcore::rng::Stream`.
+pub struct Stream(u64);
+
+impl Stream {
+    /// Roots a stream on an explicit seed.
+    pub fn from_seed(seed: u64) -> Stream {
+        Stream(seed)
+    }
+}
+
+/// Builds one stream per worker, keyed on iteration order — wrong.
+pub fn build() -> Vec<Stream> {
+    (0..4u64).map(|i| Stream::from_seed(i)).collect()
+}

@@ -1,0 +1,28 @@
+//! Flow fixture, negative: the unordered collection's keys are sorted
+//! before the fold — a sorted collection iterates deterministically, so
+//! `digest-taint` must stay silent.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+use std::collections::HashMap;
+
+/// A stand-in FNV-1a accumulator.
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    /// Folds one word into the digest.
+    pub fn write_u64(&mut self, v: u64) {
+        self.0 ^= v;
+    }
+}
+
+/// Sorting re-establishes a deterministic order: no finding.
+pub fn fold(m: &HashMap<u64, u64>) -> u64 {
+    let mut h = Fnv64(0xcbf2_9ce4_8422_2325);
+    let mut keys: Vec<u64> = m.keys().copied().collect();
+    keys.sort_unstable();
+    for k in keys {
+        h.write_u64(k);
+    }
+    h.0
+}

@@ -1,0 +1,26 @@
+//! Flow fixture, positive: the same fold as `sort_neg` minus the sort —
+//! the `HashMap` iteration order reaches the digest unsanitized.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+use std::collections::HashMap;
+
+/// A stand-in FNV-1a accumulator.
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    /// Folds one word into the digest.
+    pub fn write_u64(&mut self, v: u64) {
+        self.0 ^= v;
+    }
+}
+
+/// Folds keys in hash order — the finding this tree exists to produce.
+pub fn fold(m: &HashMap<u64, u64>) -> u64 {
+    let mut h = Fnv64(0xcbf2_9ce4_8422_2325);
+    let keys: Vec<u64> = m.keys().copied().collect();
+    for k in keys {
+        h.write_u64(k);
+    }
+    h.0
+}

@@ -26,10 +26,30 @@ fn semantic_rules_are_registered() {
         fslint::rules::id::STABLE_TIEBREAK,
         fslint::rules::id::FLOAT_TOTAL_ORDER,
         fslint::rules::id::PANIC_PATH,
+        fslint::rules::id::DIGEST_TAINT,
+        fslint::rules::id::RNG_LINEAGE,
+        fslint::rules::id::ORACLE_TAINT,
     ] {
         assert!(
             fslint::RULES.iter().any(|r| r.id == id),
             "semantic rule {id} missing from the registry"
         );
     }
+}
+
+#[test]
+fn flow_rules_actually_ran_on_the_workspace() {
+    // `workspace_lints_clean` proves there are no findings; this proves
+    // the taint analysis produced *summaries* — i.e. it ran and found the
+    // real wall-clock roots in `crates/bench` — so a clean report cannot
+    // come from the flow pass silently short-circuiting.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let files = fslint::collect_workspace_files(&root);
+    let cfg = Config { graph_json: true, ..Config::default() };
+    let report = fslint::lint_paths(&root, &files, &cfg);
+    let graph = report.graph_json.expect("graph requested");
+    assert!(
+        graph.contains("\"taint\": {\"kind\": \"wall-clock\""),
+        "no wall-clock taint summaries in the workspace graph — did flow::analyze run?"
+    );
 }
