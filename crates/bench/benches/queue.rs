@@ -104,7 +104,7 @@ fn bench_raw_batched_keys(c: &mut Criterion) {
             b.iter(|| {
                 let mut q = kind.make();
                 for seq in 0..(1u64 << 18) {
-                    let at = SimTime::from_nanos(seq / 1024 * 1_000);
+                    let at = SimTime::from_micros(seq / 1024);
                     q.push(EventKey { at, seq, slot: seq as u32 });
                 }
                 let mut out = Vec::new();

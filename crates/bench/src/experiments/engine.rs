@@ -104,7 +104,7 @@ fn heavy_cancel(kind: QueueKind, n: usize, rounds: usize) -> u64 {
 fn raw_keys(kind: QueueKind, n: u64, ties: u64) -> u64 {
     let mut q = kind.make();
     for seq in 0..n {
-        let at = SimTime::from_nanos(seq / ties * 1_000);
+        let at = SimTime::from_micros(seq / ties);
         q.push(EventKey { at, seq, slot: seq as u32 });
     }
     let mut out = Vec::new();

@@ -229,7 +229,8 @@ pub fn e22_availability() -> Report {
     // Offered load: a sequence of 256 MB writes; deadline sized for an
     // array delivering at least 70% of nominal aggregate (40 MB/s → 9.1 s).
     let w = Workload::new(4_096, 65_536);
-    let deadline = SimDuration::from_secs_f64(w.total_bytes() as f64 / (0.7 * 40.0 * MB));
+    let floor_bytes_per_sec = 0.7 * 40.0 * MB;
+    let deadline = SimDuration::from_secs_f64(w.total_bytes() as f64 / floor_bytes_per_sec);
     let mut table = Table::new(
         "Gray & Reuter availability under one stuttering pair (deadline per 256 MB write)",
         &["b/B", "static avail", "adaptive avail"],

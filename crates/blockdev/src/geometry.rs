@@ -197,7 +197,8 @@ mod tests {
     fn transfer_time_uses_zone_rates() {
         let g = Geometry::hawk_5400();
         // 1 MB in the outer zone at 5.5 MB/s.
-        let n = (1 << 20) / g.block_bytes as u64;
+        let mb_bytes = 1u64 << 20;
+        let n = mb_bytes / g.block_bytes as u64;
         let t = g.transfer_time(0, n).as_secs_f64();
         assert!((t - (1 << 20) as f64 / 5.5e6).abs() < 1e-6);
         // The same amount in the innermost zone takes twice as long.

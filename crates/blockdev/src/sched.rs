@@ -162,10 +162,11 @@ mod tests {
     fn sstf_starves_the_far_request() {
         // A stream of requests near cylinder 0 plus one lone request at the
         // far edge: SSTF keeps choosing the near ones.
+        const NEAR_STRIDE_BLOCKS: u64 = 1_000;
         let mut batch: Vec<Request> = (0..200)
             .map(|i| Request {
                 at: SimTime::from_millis(i * 5),
-                lba: (i % 50) * 1_000,
+                lba: (i % 50) * NEAR_STRIDE_BLOCKS,
                 nblocks: 64,
             })
             .collect();

@@ -47,7 +47,8 @@ proptest! {
                 Node::new(1e6, 10e6).with_cpu_profile(p.clone()).with_disk_profile(p)
             })
             .collect();
-        let job = SortJob::minute_sort(millions * 1_000_000);
+        const RECORDS_PER_MILLION: u64 = 1_000_000;
+        let job = SortJob::minute_sort(millions * RECORDS_PER_MILLION);
         let s = run_sort(&nodes, job, Placement::Static, SimTime::ZERO);
         let a = run_sort(&nodes, job, Placement::Adaptive, SimTime::ZERO);
         // One record per phase of slack on the slowest node.

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! fs-lint [--root DIR] [--format text|json|sarif] [--json] [--out FILE]
-//!         [--graph-out FILE] [--allow RULE]...
+//!         [--graph-out FILE] [--timings] [--allow RULE]...
 //!         [--baseline FILE [--prune-baseline] | --write-baseline FILE]
 //!         [--list-rules] [FILE...]
 //! ```
@@ -14,7 +14,9 @@
 //! scanning can annotate PRs from. `--out` always writes the JSON report
 //! to the given file (for CI artifacts) in addition to the chosen stdout
 //! format; `--graph-out` writes the workspace call graph the scoping was
-//! derived from, including the per-function taint summaries.
+//! derived from, including the per-function taint and unit summaries.
+//! `--timings` measures per-phase wall time (lex+parse, graph, flow,
+//! units, rules), prints it to stderr, and carries it in the JSON report.
 //! `--write-baseline` records the findings of this run as accepted debt
 //! and exits 0; `--baseline` fails only on findings beyond that recorded
 //! debt and reports fixed-but-still-listed entries as stale, and
@@ -92,6 +94,7 @@ fn main() -> ExitCode {
                 write_baseline = Some(PathBuf::from(v));
             }
             "--prune-baseline" => prune_baseline = true,
+            "--timings" => cfg.timings = true,
             "--graph-out" => {
                 let Some(v) = args.next() else { return usage("--graph-out needs a value") };
                 cfg.graph_json = true;
@@ -107,7 +110,7 @@ fn main() -> ExitCode {
                 println!(
                     "fs-lint: workspace determinism auditor\n\n\
                      usage: fs-lint [--root DIR] [--format text|json|sarif] [--json] \
-                     [--out FILE] [--graph-out FILE] [--allow RULE]... \
+                     [--out FILE] [--graph-out FILE] [--timings] [--allow RULE]... \
                      [--baseline FILE [--prune-baseline] | --write-baseline FILE] \
                      [--list-rules] [FILE...]"
                 );
@@ -156,6 +159,14 @@ fn main() -> ExitCode {
     } else {
         engine::lint_paths(&root, &files, &cfg)
     };
+
+    if let Some(t) = &report.timings {
+        eprintln!(
+            "fs-lint: timings: lex+parse {}ms, graph {}ms, flow {}ms, units {}ms, \
+             rules {}ms, total {}ms",
+            t.lex_parse_ms, t.graph_ms, t.flow_ms, t.units_ms, t.rules_ms, t.total_ms
+        );
+    }
 
     if let (Some(path), Some(doc)) = (&graph_out, &report.graph_json) {
         if let Err(e) = std::fs::write(path, doc) {
@@ -229,7 +240,7 @@ fn usage(msg: &str) -> ExitCode {
     eprintln!("fs-lint: {msg}");
     eprintln!(
         "usage: fs-lint [--root DIR] [--format text|json|sarif] [--json] [--out FILE] \
-         [--graph-out FILE] [--allow RULE]... \
+         [--graph-out FILE] [--timings] [--allow RULE]... \
          [--baseline FILE [--prune-baseline] | --write-baseline FILE] [FILE...]"
     );
     ExitCode::from(2)

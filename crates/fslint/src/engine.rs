@@ -40,6 +40,9 @@ pub struct Config {
     pub allow: BTreeSet<String>,
     /// Export the call graph in the report (`--graph-out`).
     pub graph_json: bool,
+    /// Measure per-phase wall time and carry it in the report
+    /// (`--timings`). Off by default so repeated runs stay byte-identical.
+    pub timings: bool,
     /// `(rule, path)` keys the active baseline records debt for. A
     /// suppression whose every silenced finding is covered here is
     /// redundant — the baseline would have filtered those findings anyway
@@ -56,6 +59,57 @@ pub struct Report {
     pub files_scanned: usize,
     /// The call-graph JSON document, when [`Config::graph_json`] is set.
     pub graph_json: Option<String>,
+    /// Per-phase wall times, when [`Config::timings`] is set.
+    pub timings: Option<PhaseTimings>,
+}
+
+/// Wall time spent in each engine phase, in milliseconds.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTimings {
+    /// Phase one: read + lex + parse, across all shards.
+    pub lex_parse_ms: u64,
+    /// Call-graph construction and reachability fixpoints.
+    pub graph_ms: u64,
+    /// Interprocedural taint analysis.
+    pub flow_ms: u64,
+    /// Interprocedural unit inference.
+    pub units_ms: u64,
+    /// Per-file rules, whole-program rules, and suppression routing.
+    pub rules_ms: u64,
+    /// End-to-end lint time.
+    pub total_ms: u64,
+}
+
+// Timings are diagnostics about the lint run itself, not part of any
+// simulated artifact, so this is the one sanctioned wall-clock read in
+// the workspace outside `crates/bench`.
+// fslint: allow(no-wall-clock) — measures the linter's own phases, never sim state
+type PhaseClock = std::time::Instant;
+
+/// A per-phase stopwatch; inert (and cost-free) unless enabled.
+struct Timer {
+    t0: Option<PhaseClock>,
+    last: Option<PhaseClock>,
+}
+
+impl Timer {
+    fn start(on: bool) -> Timer {
+        let now = on.then(PhaseClock::now);
+        Timer { t0: now, last: now }
+    }
+
+    /// Milliseconds since the previous lap (0 when disabled).
+    fn lap(&mut self) -> u64 {
+        let Some(prev) = self.last else { return 0 };
+        let now = PhaseClock::now();
+        self.last = Some(now);
+        now.duration_since(prev).as_millis() as u64
+    }
+
+    /// Milliseconds since the timer started (0 when disabled).
+    fn total(&self) -> u64 {
+        self.t0.map_or(0, |t0| PhaseClock::now().duration_since(t0).as_millis() as u64)
+    }
 }
 
 impl Report {
@@ -100,6 +154,8 @@ pub fn lint_workspace(root: &Path, cfg: &Config) -> Report {
 /// this set), reporting paths relative to `root` where possible.
 pub fn lint_paths(root: &Path, files: &[PathBuf], cfg: &Config) -> Report {
     let mut findings = Vec::new();
+    let mut timer = Timer::start(cfg.timings);
+    let mut phases = PhaseTimings::default();
 
     // Phase one: read, lex, and parse every file, sharded over worker
     // threads. Each file's result lands in the slot matching its position
@@ -146,19 +202,27 @@ pub fn lint_paths(root: &Path, files: &[PathBuf], cfg: &Config) -> Report {
         }
     }
 
+    phases.lex_parse_ms = timer.lap();
+
     // Phase two: the call graph over the whole set. A set with no entry
     // points (single-file runs, fixture subsets) has nothing to seed the
     // reachability fixpoints from: those runs get the empty scope, and
     // only the everywhere rules apply.
     let graph = Graph::build(&units);
     let graph_mode = graph.has_entries();
+    phases.graph_ms = timer.lap();
     // The taint analysis needs edges, not entry roots — it runs on every
     // set, so single-file and fixture runs still prove their flows.
     let (flow_findings, taint) = flow::analyze(&units, &graph);
-    let graph_json = cfg.graph_json.then(|| graph.render_json(&units, &taint));
+    phases.flow_ms = timer.lap();
+    // Same for the unit inference: summaries propagate over edges alone.
+    let (unit_findings, usum) = crate::units::analyze(&units, &graph);
+    phases.units_ms = timer.lap();
+    let graph_json = cfg.graph_json.then(|| graph.render_json(&units, &taint, &usum));
     let mut program_findings =
         if graph_mode { graph.whole_program_findings(&units) } else { Vec::new() };
     program_findings.extend(flow_findings);
+    program_findings.extend(unit_findings);
 
     let mut sites: Vec<LabelSite> = Vec::new();
     let mut per_file: Vec<(usize, suppress::Scan, Vec<Finding>)> = Vec::new();
@@ -217,7 +281,10 @@ pub fn lint_paths(root: &Path, files: &[PathBuf], cfg: &Config) -> Report {
     findings.retain(|f| !cfg.allow.contains(f.rule));
     findings.sort();
     findings.dedup();
-    Report { findings, files_scanned: files.len(), graph_json }
+    phases.rules_ms = timer.lap();
+    phases.total_ms = timer.total();
+    let timings = cfg.timings.then_some(phases);
+    Report { findings, files_scanned: files.len(), graph_json, timings }
 }
 
 /// Renders the report as line-oriented human output.
@@ -239,6 +306,13 @@ pub fn render_json(report: &Report) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"files_scanned\": {},\n", report.files_scanned));
     out.push_str(&format!("  \"finding_count\": {},\n", report.findings.len()));
+    if let Some(t) = &report.timings {
+        out.push_str(&format!(
+            "  \"timings_ms\": {{\"lex_parse\": {}, \"graph\": {}, \"flow\": {}, \
+             \"units\": {}, \"rules\": {}, \"total\": {}}},\n",
+            t.lex_parse_ms, t.graph_ms, t.flow_ms, t.units_ms, t.rules_ms, t.total_ms
+        ));
+    }
     out.push_str("  \"findings\": [");
     for (i, f) in report.findings.iter().enumerate() {
         if i > 0 {
@@ -289,7 +363,7 @@ mod tests {
 
     #[test]
     fn empty_report_renders_empty_array() {
-        let r = Report { findings: Vec::new(), files_scanned: 3, graph_json: None };
+        let r = Report { findings: Vec::new(), files_scanned: 3, graph_json: None, timings: None };
         let json = render_json(&r);
         assert!(json.contains("\"findings\": []"));
         assert!(json.contains("\"finding_count\": 0"));

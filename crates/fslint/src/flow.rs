@@ -933,7 +933,7 @@ fn nan_fold_sources(u: &FileUnit) -> Vec<Src> {
 /// True when the `.` at `i` reads a field: next token is an identifier
 /// not followed by `(` (a method call) or a plain `=` (a write; `==`
 /// still reads).
-fn field_read_shape(toks: &[Token], i: usize) -> bool {
+pub(crate) fn field_read_shape(toks: &[Token], i: usize) -> bool {
     if !toks.get(i + 1).is_some_and(|t| t.kind == TokKind::Ident) {
         return false;
     }
@@ -949,7 +949,7 @@ fn field_read_shape(toks: &[Token], i: usize) -> bool {
 
 /// The argument parens of the call whose name token is `tok`, skipping a
 /// turbofish; `None` for bare references.
-fn call_args(toks: &[Token], tok: usize) -> Option<(usize, usize)> {
+pub(crate) fn call_args(toks: &[Token], tok: usize) -> Option<(usize, usize)> {
     let mut k = tok + 1;
     if toks.get(k).is_some_and(|t| t.is_punct(':'))
         && toks.get(k + 1).is_some_and(|t| t.is_punct(':'))
@@ -969,7 +969,11 @@ fn call_args(toks: &[Token], tok: usize) -> Option<(usize, usize)> {
 
 /// The bounds of a `let` statement starting after the `let` at `from-1`:
 /// the depth-0 `=` (skipping `==`/compound operators) and the depth-0 `;`.
-fn let_bounds(toks: &[Token], from: usize, limit: usize) -> (Option<usize>, Option<usize>) {
+pub(crate) fn let_bounds(
+    toks: &[Token],
+    from: usize,
+    limit: usize,
+) -> (Option<usize>, Option<usize>) {
     let mut depth = 0i32;
     let mut eq = None;
     let mut i = from;
@@ -1006,7 +1010,7 @@ fn let_bounds(toks: &[Token], from: usize, limit: usize) -> (Option<usize>, Opti
 /// Lower-case identifiers bound by the pattern between `from` and the
 /// `=` at `eq`, stopping at a depth-0 `:` (type ascription). CamelCase
 /// names are enum/struct constructors, not bindings.
-fn pattern_names(toks: &[Token], from: usize, eq: usize) -> Vec<String> {
+pub(crate) fn pattern_names(toks: &[Token], from: usize, eq: usize) -> Vec<String> {
     let mut out = Vec::new();
     let mut depth = 0i32;
     for t in toks.iter().take(eq.min(toks.len())).skip(from) {
@@ -1029,7 +1033,11 @@ fn pattern_names(toks: &[Token], from: usize, eq: usize) -> Vec<String> {
 
 /// `for PAT in EXPR {` starting at the `for` at `i`: the bound names,
 /// the last token of EXPR, and the index of the opening `{`.
-fn for_binding(toks: &[Token], i: usize, limit: usize) -> Option<(Vec<String>, usize, usize)> {
+pub(crate) fn for_binding(
+    toks: &[Token],
+    i: usize,
+    limit: usize,
+) -> Option<(Vec<String>, usize, usize)> {
     let mut j = i + 1;
     let mut names = Vec::new();
     while j <= limit && j < i + 24 && j < toks.len() {
@@ -1139,7 +1147,7 @@ fn param_taint(toks: &[Token], b0: usize) -> Vec<Local> {
 
 /// Token end of an assignment RHS starting at `from`: the depth-0 `;`,
 /// `,`, or closing delimiter.
-fn rhs_end(toks: &[Token], from: usize) -> Option<usize> {
+pub(crate) fn rhs_end(toks: &[Token], from: usize) -> Option<usize> {
     let mut depth = 0i32;
     let mut j = from;
     while j < toks.len() {

@@ -547,12 +547,14 @@ impl Graph {
     }
 
     /// Renders the graph as a JSON document for `--graph-out`. `taint`
-    /// holds the per-node summaries from [`crate::flow::analyze`],
-    /// aligned with `nodes` (pass `&[]` to omit them all).
+    /// holds the per-node summaries from [`crate::flow::analyze`] and
+    /// `usum` the return-unit summaries from [`crate::units::analyze`],
+    /// each aligned with `nodes` (pass `&[]` to omit them all).
     pub fn render_json(
         &self,
         units: &[FileUnit],
         taint: &[Option<crate::flow::TaintSummary>],
+        usum: &[Option<crate::units::UnitSummary>],
     ) -> String {
         use crate::engine::json_str;
         let mut out = String::from("{\n  \"nodes\": [");
@@ -571,10 +573,20 @@ impl Graph {
                 ),
                 _ => "null".to_string(),
             };
+            let unit_json = match usum.get(i) {
+                Some(Some(s)) => format!(
+                    "{{\"dim\": {}, \"line\": {}, \"via\": {}, \"what\": {}}}",
+                    json_str(&s.dim.render()),
+                    s.line,
+                    s.via.map_or("null".to_string(), |v| v.to_string()),
+                    json_str(&s.what),
+                ),
+                _ => "null".to_string(),
+            };
             out.push_str(&format!(
                 "\n    {{\"id\": {i}, \"crate\": {}, \"module\": {}, \"name\": {}, \
                  \"owner\": {}, \"path\": {}, \"line\": {}, \"test\": {}, \"entry\": {}, \
-                 \"reachable\": {}, \"sched\": {}, \"taint\": {}}}",
+                 \"reachable\": {}, \"sched\": {}, \"taint\": {}, \"unit\": {}}}",
                 json_str(&n.abs_module[0]),
                 json_str(&module),
                 json_str(&n.name),
@@ -586,6 +598,7 @@ impl Graph {
                 self.reachable[i],
                 self.sched[i],
                 taint_json,
+                unit_json,
             ));
         }
         if !self.nodes.is_empty() {

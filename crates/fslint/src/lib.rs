@@ -33,6 +33,10 @@
 //! | `digest-taint` | no nondeterministic value flows (interprocedurally) into a digest fold, golden assertion, or bench artifact |
 //! | `rng-lineage` | every `Stream::from_seed` is literal- or label-rooted, never a loop index or shard id |
 //! | `oracle-taint` | no nondeterministic value flows into an oracle verdict |
+//! | `unit-mismatch` | no add/sub/compare/assign across quantities of conflicting inferred units |
+//! | `raw-unit-conversion` | no magic `* 1_000`/`* 1_000_000_000` literals outside `simcore::time` |
+//! | `rate-confusion` | a per-X rate only combines with a different shape through a `dt` factor |
+//! | `threshold-unit` | detector thresholds are configured in the unit they are compared against |
 //! | `suppression-stale` | no `fslint: allow(...)` comment that silences nothing |
 //!
 //! `stable-tiebreak` and `panic-path` run on a lightweight semantic model
@@ -53,6 +57,18 @@
 //! taint across statements, sorting sanitizes unordered-iteration taint,
 //! and each finding reports the full source→sink call path. Computed
 //! summaries ride along in the `--graph-out` export under `"taint"`.
+//!
+//! The unit rules (`unit-mismatch`, `raw-unit-conversion`,
+//! `rate-confusion`, `threshold-unit`) run a second summary-based pass
+//! over the same graph ([`units`]): Kennedy-style dimensional inference
+//! seeded from API signatures (`SimTime::from_secs`, `as_nanos()`) and
+//! naming discipline (`*_ms`/`*_secs`/`*_ticks`/`*_per_sec` suffixes,
+//! `dt`, `lba`), propagated through lets, fields, params, and returns to
+//! a per-function fixpoint on a small lattice (unknown ⊑ scalar ⊑
+//! concrete ⊑ conflict; mul/div compose dimensions, same-unit division
+//! is a dimensionless ratio). Mismatch messages print both inference
+//! chains hop by hop; return-unit summaries ride along in the
+//! `--graph-out` export under `"unit"`.
 //!
 //! ## Suppressions
 //!
@@ -103,6 +119,7 @@ pub mod rules;
 pub mod sarif;
 pub mod sem;
 pub mod suppress;
+pub mod units;
 
 pub use engine::{collect_workspace_files, lint_paths, lint_workspace, Config, Report};
 pub use rules::{Finding, RULES};

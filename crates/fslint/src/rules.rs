@@ -49,6 +49,19 @@ pub mod id {
     pub const RNG_LINEAGE: &str = "rng-lineage";
     /// A nondeterministic source value flows into an oracle verdict.
     pub const ORACLE_TAINT: &str = "oracle-taint";
+    /// An add/sub/compare/accumulate site whose two operands carry
+    /// conflicting inferred units (interprocedural, unit-summary based;
+    /// reported with both inference chains).
+    pub const UNIT_MISMATCH: &str = "unit-mismatch";
+    /// A magic `* 1_000` / `* 1_000_000` / `* 1_000_000_000` conversion
+    /// literal outside `simcore::time` — named constructors/consts only.
+    pub const RAW_UNIT_CONVERSION: &str = "raw-unit-conversion";
+    /// A per-second rate combined with a per-tick quantity without an
+    /// explicit `dt` factor.
+    pub const RATE_CONFUSION: &str = "rate-confusion";
+    /// A configured threshold compared against an observation of a
+    /// different inferred unit in injector/detector-reachable code.
+    pub const THRESHOLD_UNIT: &str = "threshold-unit";
     /// A valid `fslint: allow(...)` suppression that no longer silences
     /// any finding and should be deleted.
     pub const SUPPRESSION_STALE: &str = "suppression-stale";
@@ -139,6 +152,28 @@ pub const RULES: &[RuleInfo] = &[
         id: id::ORACLE_TAINT,
         summary: "no nondeterministic source value may flow into an oracle verdict — a \
                   verdict that depends on the host is not an invariant check",
+    },
+    RuleInfo {
+        id: id::UNIT_MISMATCH,
+        summary: "quantities added, subtracted, or compared must carry the same inferred \
+                  unit (nanos/millis/secs/ticks/blocks/bytes — interprocedural inference \
+                  over signatures and naming discipline)",
+    },
+    RuleInfo {
+        id: id::RAW_UNIT_CONVERSION,
+        summary: "no magic *1_000/*1_000_000/*1_000_000_000 conversion literals outside \
+                  simcore::time — use the named from_* constructors or NANOS_PER_* consts, \
+                  which also carry the dimension for inference",
+    },
+    RuleInfo {
+        id: id::RATE_CONFUSION,
+        summary: "a per-second rate and a per-tick quantity only combine through an \
+                  explicit dt factor (rate * dt_secs or a ticks_per_sec scaling)",
+    },
+    RuleInfo {
+        id: id::THRESHOLD_UNIT,
+        summary: "a configured threshold in injector/detector-reachable code must be \
+                  compared in the unit of the observation it gates",
     },
     RuleInfo {
         id: id::SUPPRESSION_STALE,

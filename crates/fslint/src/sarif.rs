@@ -74,6 +74,7 @@ mod tests {
             }],
             files_scanned: 1,
             graph_json: None,
+            timings: None,
         };
         let doc = render(&report);
         assert!(doc.contains("\"version\": \"2.1.0\""));
@@ -98,6 +99,7 @@ mod tests {
             }],
             files_scanned: 0,
             graph_json: None,
+            timings: None,
         };
         assert!(render(&report).contains("\"startLine\": 1"));
     }

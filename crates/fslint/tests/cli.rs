@@ -339,4 +339,30 @@ fn list_rules_names_all_rules() {
     for rule in fslint::RULES {
         assert!(text.contains(rule.id), "missing {} in:\n{text}", rule.id);
     }
+    // The v5 dimensional rules, by name — registry-driven iteration above
+    // cannot catch a rule that was dropped from the registry itself.
+    for rule in ["unit-mismatch", "raw-unit-conversion", "rate-confusion", "threshold-unit"] {
+        assert!(text.contains(rule), "missing {rule} in:\n{text}");
+    }
+}
+
+#[test]
+fn timings_flag_reports_every_phase() {
+    let out = run(&["--timings", "--json", fixture("wall_clock_neg.rs").to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stdout));
+    let err = String::from_utf8_lossy(&out.stderr);
+    for phase in ["lex+parse", "graph", "flow", "units", "rules", "total"] {
+        assert!(err.contains(phase), "missing {phase} in stderr:\n{err}");
+    }
+    // The JSON report carries the same breakdown for CI artifacts.
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"timings_ms\""), "{text}");
+    for key in ["\"lex_parse\"", "\"units\"", "\"total\""] {
+        assert!(text.contains(key), "missing {key} in:\n{text}");
+    }
+
+    // Without the flag the report is timing-free, keeping double-lint
+    // output byte-identical.
+    let out = run(&["--json", fixture("wall_clock_neg.rs").to_str().unwrap()]);
+    assert!(!String::from_utf8_lossy(&out.stdout).contains("timings_ms"));
 }

@@ -1,0 +1,21 @@
+//! Unit fixture: a struct field launders a nanos value between
+//! functions — only field-unit discovery can connect the write to the
+//! mismatched read.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+/// A measurement window; `span` carries whatever `fill` stored.
+pub struct Window {
+    /// The measured span (unit declared only at the write site).
+    pub span: u64,
+}
+
+/// Stores a sim-time read — nanos — into the field.
+pub fn fill(w: &mut Window) {
+    w.span = SimTime::from_secs(3).as_nanos();
+}
+
+/// Adds a millis budget to the laundered nanos field.
+pub fn padded(w: &Window, budget_ms: u64) -> u64 {
+    w.span + budget_ms
+}

@@ -1,0 +1,14 @@
+//! Unit fixture, clean half: the same two-hop shape as `mismatch_pos`,
+//! but the budget is named in the unit the sample actually carries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+/// Reads one latency sample; the `_nanos` suffix declares its unit.
+pub fn sample_nanos(raw: u64) -> u64 {
+    raw
+}
+
+/// A smoothing window over the sample.
+pub fn window(raw: u64) -> u64 {
+    sample_nanos(raw)
+}

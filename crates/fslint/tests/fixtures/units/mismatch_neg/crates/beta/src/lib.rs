@@ -1,0 +1,10 @@
+//! Unit fixture, clean sink: nanos meet nanos, so the interprocedural
+//! inference must stay silent.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+/// Compares the smoothed sample against a budget named in nanos.
+pub fn over_budget(budget_nanos: u64) -> bool {
+    let w = alpha::window(41);
+    w + budget_nanos > 0
+}

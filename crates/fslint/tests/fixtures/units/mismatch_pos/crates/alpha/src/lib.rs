@@ -1,0 +1,15 @@
+//! Unit fixture, source half: the sampled latency is measured in nanos
+//! two calls below the consumer in the other crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+/// Reads one latency sample; the `_nanos` suffix declares its unit.
+pub fn sample_nanos(raw: u64) -> u64 {
+    raw
+}
+
+/// An innocent-looking smoothing window over the sample — the unit
+/// summary must propagate through it for the sink crate to be flagged.
+pub fn window(raw: u64) -> u64 {
+    sample_nanos(raw)
+}

@@ -1,0 +1,11 @@
+//! Unit fixture, sink half: a millis budget is added to a value that is
+//! only nanos two interprocedural hops away (`alpha::window` →
+//! `alpha::sample_nanos`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+/// Compares the smoothed sample against a budget named in millis.
+pub fn over_budget(budget_ms: u64) -> bool {
+    let w = alpha::window(41);
+    w + budget_ms > 0
+}

@@ -1,0 +1,9 @@
+//! Unit fixture, callee half: the parameter's `_ms` suffix declares the
+//! unit this API expects.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+/// Admits a request given a timeout in milliseconds.
+pub fn admit(timeout_ms: u64) -> u64 {
+    timeout_ms
+}

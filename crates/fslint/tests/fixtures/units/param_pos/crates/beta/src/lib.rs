@@ -1,0 +1,9 @@
+//! Unit fixture, caller half: passes a nanos reading into a parameter
+//! declared (by name) in millis, across a crate boundary.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+/// Feeds a raw sim-time read where a millis timeout is expected.
+pub fn misuse() -> u64 {
+    alpha::admit(SimTime::from_secs(1).as_nanos())
+}

@@ -1,0 +1,10 @@
+//! Unit fixture, clean half: the per-sec rate is rescaled through the
+//! tick duration before it meets the per-tick quantity, so the shapes
+//! agree: `1/secs · secs/ticks = 1/ticks`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+/// Sums queue pressure per tick with an admission rate converted per tick.
+pub fn pressure(q_per_tick: f64, open_per_sec: f64, secs_per_tick: f64) -> f64 {
+    q_per_tick + open_per_sec * secs_per_tick
+}

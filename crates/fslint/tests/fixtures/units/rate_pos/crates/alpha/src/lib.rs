@@ -1,0 +1,9 @@
+//! Unit fixture: a per-tick quantity added straight to a per-sec rate —
+//! the tick duration never entered the expression.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+/// Sums queue pressure per tick with an admission rate per second.
+pub fn pressure(q_per_tick: f64, open_per_sec: f64) -> f64 {
+    q_per_tick + open_per_sec
+}

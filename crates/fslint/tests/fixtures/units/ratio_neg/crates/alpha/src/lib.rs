@@ -1,0 +1,10 @@
+//! Unit fixture, clean half: dividing nanos by nanos yields a
+//! dimensionless ratio, which may meet anything without a finding.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+/// Utilisation headroom: a sanitised ratio added to a bare count.
+pub fn headroom(busy_nanos: u64, window_nanos: u64, limit: u64) -> u64 {
+    let frac = busy_nanos / window_nanos;
+    frac + limit
+}

@@ -1,0 +1,12 @@
+//! Unit fixture: the one blessed home of raw conversion factors —
+//! `simcore::time` itself defines the constants everyone else must use.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+/// Nanoseconds per millisecond.
+pub const NANOS_PER_MILLI: u64 = 1_000_000;
+
+/// Converts milliseconds to nanoseconds.
+pub fn millis_to_nanos(ms: u64) -> u64 {
+    ms * 1_000_000
+}

@@ -1,0 +1,9 @@
+//! Unit fixture: a magic power-of-ten conversion literal outside
+//! `simcore::time` — the unit being converted to is invisible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+/// Scales a count by a bare thousand; is that micros, millis, or a batch?
+pub fn scale(t: u64) -> u64 {
+    t * 1_000
+}

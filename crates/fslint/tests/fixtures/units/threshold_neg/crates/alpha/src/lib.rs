@@ -1,0 +1,23 @@
+//! Unit fixture, clean half: the threshold is configured in the unit it
+//! is compared against, so the detector comparison is silent.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+/// Detector knobs.
+pub struct Cfg {
+    /// Trip threshold, in nanoseconds.
+    pub threshold_nanos: u64,
+}
+
+/// The fault injector; its methods are reachability entry points.
+pub struct Injector {
+    /// Detector configuration.
+    pub cfg: Cfg,
+}
+
+impl Injector {
+    /// Trips when the observed stall exceeds the configured threshold.
+    pub fn tripped(&self, obs_nanos: u64) -> bool {
+        obs_nanos > self.cfg.threshold_nanos
+    }
+}

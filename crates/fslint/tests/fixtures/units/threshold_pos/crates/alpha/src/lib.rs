@@ -1,0 +1,23 @@
+//! Unit fixture: a detector threshold configured in ticks is compared
+//! against a nanos observation inside injector-reachable code.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+/// Detector knobs.
+pub struct Cfg {
+    /// Trip threshold, in scheduler ticks.
+    pub threshold_ticks: u64,
+}
+
+/// The fault injector; its methods are reachability entry points.
+pub struct Injector {
+    /// Detector configuration.
+    pub cfg: Cfg,
+}
+
+impl Injector {
+    /// Trips when the observed stall exceeds the configured threshold.
+    pub fn tripped(&self, obs_nanos: u64) -> bool {
+        obs_nanos > self.cfg.threshold_ticks
+    }
+}

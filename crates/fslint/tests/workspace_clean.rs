@@ -29,6 +29,10 @@ fn semantic_rules_are_registered() {
         fslint::rules::id::DIGEST_TAINT,
         fslint::rules::id::RNG_LINEAGE,
         fslint::rules::id::ORACLE_TAINT,
+        fslint::rules::id::UNIT_MISMATCH,
+        fslint::rules::id::RAW_UNIT_CONVERSION,
+        fslint::rules::id::RATE_CONFUSION,
+        fslint::rules::id::THRESHOLD_UNIT,
     ] {
         assert!(
             fslint::RULES.iter().any(|r| r.id == id),
@@ -51,5 +55,11 @@ fn flow_rules_actually_ran_on_the_workspace() {
     assert!(
         graph.contains("\"taint\": {\"kind\": \"wall-clock\""),
         "no wall-clock taint summaries in the workspace graph — did flow::analyze run?"
+    );
+    // Same proof for the dimensional pass: the real tree is full of
+    // `_nanos`/`SimTime` returns, so unit summaries must be present.
+    assert!(
+        graph.contains("\"unit\": {\"dim\": "),
+        "no unit summaries in the workspace graph — did units::analyze run?"
     );
 }

@@ -21,7 +21,7 @@ use std::collections::BTreeMap;
 
 use simcore::rng::Stream;
 use simcore::sim::Simulation;
-use simcore::time::{SimDuration, SimTime};
+use simcore::time::{SimDuration, SimTime, NANOS_PER_SEC};
 use stutter::injector::SlowdownProfile;
 use stutter::predict::FailurePredictor;
 
@@ -89,6 +89,32 @@ impl Config {
         }
     }
 
+    /// Checks every constraint the engine relies on, in release builds
+    /// too. [`Engine::new`] refuses an invalid configuration, but
+    /// sweep/CLI code should call this at the config boundary, where the
+    /// error can name the offending knob instead of panicking mid-run.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.population == 0 {
+            return Err("population must be non-empty".to_string());
+        }
+        if self.service_rate.is_nan() || self.service_rate <= 0.0 {
+            return Err(format!("service rate must be positive, got {}", self.service_rate));
+        }
+        if self.policy.max_attempts < 1 {
+            return Err("at least one attempt per operation".to_string());
+        }
+        if self.dt.is_zero() {
+            return Err("tick must be positive".to_string());
+        }
+        if !NANOS_PER_SEC.is_multiple_of(self.dt.as_nanos()) {
+            return Err(format!(
+                "tick must divide one second evenly, got dt = {} ns",
+                self.dt.as_nanos()
+            ));
+        }
+        Ok(())
+    }
+
     /// Number of whole engine ticks in the run.
     pub fn ticks(&self) -> u64 {
         assert!(!self.dt.is_zero(), "tick must be positive");
@@ -96,12 +122,12 @@ impl Config {
     }
 
     /// Engine ticks per simulated second.
+    ///
+    /// [`Config::validate`] has already established that `dt` divides
+    /// one second evenly, so the division here is exact.
     pub fn ticks_per_sec(&self) -> u64 {
-        let per_sec = SimDuration::from_secs(1).as_nanos() / self.dt.as_nanos();
-        assert!(
-            per_sec * self.dt.as_nanos() == SimDuration::from_secs(1).as_nanos(),
-            "tick must divide one second evenly"
-        );
+        let per_sec = NANOS_PER_SEC / self.dt.as_nanos();
+        debug_assert!(per_sec * self.dt.as_nanos() == NANOS_PER_SEC);
         per_sec
     }
 
@@ -244,9 +270,8 @@ impl Engine {
         mitigation: Mitigation,
         rng: &mut Stream,
     ) -> Self {
-        assert!(cfg.population > 0, "population must be non-empty");
-        assert!(cfg.service_rate > 0.0, "service rate must be positive");
-        assert!(cfg.policy.max_attempts >= 1, "at least one attempt per operation");
+        let checked = cfg.validate();
+        assert!(checked.is_ok(), "invalid metastable config: {:?}", checked);
         let ticks = cfg.ticks();
         let ticks_per_sec = cfg.ticks_per_sec();
         let think_ticks = cfg.dur_ticks(cfg.think);
@@ -598,6 +623,33 @@ mod tests {
             (SimTime::from_secs(start), 0.0),
             (SimTime::from_secs(start + secs), 1.0),
         ])
+    }
+
+    #[test]
+    fn validate_rejects_non_dividing_dt() {
+        // A `Result`, not a `debug_assert!`: the check must hold in
+        // release builds too, where a 7 ms tick would silently truncate
+        // `ticks_per_sec` and reshape every per-second rate.
+        let mut cfg = small();
+        assert!(cfg.validate().is_ok());
+        cfg.dt = SimDuration::from_millis(7);
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("divide one second"), "{err}");
+        cfg.dt = SimDuration::ZERO;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validate_names_the_offending_knob() {
+        let mut cfg = small();
+        cfg.population = 0;
+        assert!(cfg.validate().unwrap_err().contains("population"));
+        let mut cfg = small();
+        cfg.service_rate = 0.0;
+        assert!(cfg.validate().unwrap_err().contains("service rate"));
+        let mut cfg = small();
+        cfg.policy.max_attempts = 0;
+        assert!(cfg.validate().unwrap_err().contains("attempt"));
     }
 
     #[test]

@@ -8,6 +8,16 @@
 use core::fmt;
 use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
+/// Nanoseconds per second — the canonical conversion factor. All unit
+/// scaling in the workspace goes through the `from_*` constructors or
+/// these consts; bare `* 1_000_000_000` literals elsewhere are flagged by
+/// fs-lint's `raw-unit-conversion` rule.
+pub const NANOS_PER_SEC: u64 = 1_000_000_000;
+/// Nanoseconds per millisecond.
+pub const NANOS_PER_MILLI: u64 = 1_000_000;
+/// Nanoseconds per microsecond.
+pub const NANOS_PER_MICRO: u64 = 1_000;
+
 /// A point in simulated time, measured in nanoseconds from simulation start.
 ///
 /// `SimTime` is totally ordered and supports the arithmetic needed by
@@ -46,17 +56,17 @@ impl SimTime {
 
     /// Creates an instant at `micros` microseconds from simulation start.
     pub const fn from_micros(micros: u64) -> Self {
-        SimTime(micros * 1_000)
+        SimTime(micros * NANOS_PER_MICRO)
     }
 
     /// Creates an instant at `millis` milliseconds from simulation start.
     pub const fn from_millis(millis: u64) -> Self {
-        SimTime(millis * 1_000_000)
+        SimTime(millis * NANOS_PER_MILLI)
     }
 
     /// Creates an instant at `secs` seconds from simulation start.
     pub const fn from_secs(secs: u64) -> Self {
-        SimTime(secs * 1_000_000_000)
+        SimTime(secs * NANOS_PER_SEC)
     }
 
     /// Returns the instant as nanoseconds from simulation start.
@@ -98,17 +108,17 @@ impl SimDuration {
 
     /// Creates a duration of `micros` microseconds.
     pub const fn from_micros(micros: u64) -> Self {
-        SimDuration(micros * 1_000)
+        SimDuration(micros * NANOS_PER_MICRO)
     }
 
     /// Creates a duration of `millis` milliseconds.
     pub const fn from_millis(millis: u64) -> Self {
-        SimDuration(millis * 1_000_000)
+        SimDuration(millis * NANOS_PER_MILLI)
     }
 
     /// Creates a duration of `secs` seconds.
     pub const fn from_secs(secs: u64) -> Self {
-        SimDuration(secs * 1_000_000_000)
+        SimDuration(secs * NANOS_PER_SEC)
     }
 
     /// Creates a duration from fractional seconds, rounding to nanoseconds.

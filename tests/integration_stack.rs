@@ -176,7 +176,8 @@ fn availability_gap_under_stutter() {
     let array = Raid10::new(pairs, HOUR);
 
     let w = Workload::new(1_024, 65_536); // 64 MB writes
-    let deadline = SimDuration::from_secs_f64(w.total_bytes() as f64 / (0.7 * 40e6));
+    let floor_bytes_per_sec = 0.7 * 40e6;
+    let deadline = SimDuration::from_secs_f64(w.total_bytes() as f64 / floor_bytes_per_sec);
     let mut meter_static = AvailabilityMeter::new(deadline);
     let mut meter_adaptive = AvailabilityMeter::new(deadline);
     for _ in 0..16 {
