@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! fs-lint [--root DIR] [--format text|json|sarif] [--json] [--out FILE]
-//!         [--graph-out FILE] [--timings] [--allow RULE]...
+//!         [--graph-out FILE] [--timings] [--jobs N] [--allow RULE]...
 //!         [--baseline FILE [--prune-baseline] | --write-baseline FILE]
 //!         [--list-rules] [FILE...]
 //! ```
@@ -14,9 +14,12 @@
 //! scanning can annotate PRs from. `--out` always writes the JSON report
 //! to the given file (for CI artifacts) in addition to the chosen stdout
 //! format; `--graph-out` writes the workspace call graph the scoping was
-//! derived from, including the per-function taint and unit summaries.
-//! `--timings` measures per-phase wall time (lex+parse, graph, flow,
-//! units, rules), prints it to stderr, and carries it in the JSON report.
+//! derived from, including the per-function taint, unit, and effect
+//! summaries. `--timings` measures per-phase wall time (lex+parse, graph,
+//! flow, units, effects, rules), prints it to stderr, and carries it in
+//! the JSON report. `--jobs N` caps the scan shard threads (default:
+//! `available_parallelism`, capped at 8); sharding never changes output,
+//! so any `N` produces byte-identical reports.
 //! `--write-baseline` records the findings of this run as accepted debt
 //! and exits 0; `--baseline` fails only on findings beyond that recorded
 //! debt and reports fixed-but-still-listed entries as stale, and
@@ -95,6 +98,13 @@ fn main() -> ExitCode {
             }
             "--prune-baseline" => prune_baseline = true,
             "--timings" => cfg.timings = true,
+            "--jobs" => {
+                let Some(v) = args.next() else { return usage("--jobs needs a thread count") };
+                match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => cfg.jobs = Some(n),
+                    _ => return usage(&format!("--jobs needs a positive integer, got `{v}`")),
+                }
+            }
             "--graph-out" => {
                 let Some(v) = args.next() else { return usage("--graph-out needs a value") };
                 cfg.graph_json = true;
@@ -110,7 +120,8 @@ fn main() -> ExitCode {
                 println!(
                     "fs-lint: workspace determinism auditor\n\n\
                      usage: fs-lint [--root DIR] [--format text|json|sarif] [--json] \
-                     [--out FILE] [--graph-out FILE] [--timings] [--allow RULE]... \
+                     [--out FILE] [--graph-out FILE] [--timings] [--jobs N] \
+                     [--allow RULE]... \
                      [--baseline FILE [--prune-baseline] | --write-baseline FILE] \
                      [--list-rules] [FILE...]"
                 );
@@ -163,8 +174,8 @@ fn main() -> ExitCode {
     if let Some(t) = &report.timings {
         eprintln!(
             "fs-lint: timings: lex+parse {}ms, graph {}ms, flow {}ms, units {}ms, \
-             rules {}ms, total {}ms",
-            t.lex_parse_ms, t.graph_ms, t.flow_ms, t.units_ms, t.rules_ms, t.total_ms
+             effects {}ms, rules {}ms, total {}ms",
+            t.lex_parse_ms, t.graph_ms, t.flow_ms, t.units_ms, t.effects_ms, t.rules_ms, t.total_ms
         );
     }
 
@@ -240,7 +251,7 @@ fn usage(msg: &str) -> ExitCode {
     eprintln!("fs-lint: {msg}");
     eprintln!(
         "usage: fs-lint [--root DIR] [--format text|json|sarif] [--json] [--out FILE] \
-         [--graph-out FILE] [--timings] [--allow RULE]... \
+         [--graph-out FILE] [--timings] [--jobs N] [--allow RULE]... \
          [--baseline FILE [--prune-baseline] | --write-baseline FILE] [FILE...]"
     );
     ExitCode::from(2)

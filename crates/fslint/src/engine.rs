@@ -43,6 +43,10 @@ pub struct Config {
     /// Measure per-phase wall time and carry it in the report
     /// (`--timings`). Off by default so repeated runs stay byte-identical.
     pub timings: bool,
+    /// Cap on scan shard threads (`--jobs N`). `None` uses
+    /// `available_parallelism`. Sharding only changes which thread lexes
+    /// which file — output is byte-identical at any setting.
+    pub jobs: Option<usize>,
     /// `(rule, path)` keys the active baseline records debt for. A
     /// suppression whose every silenced finding is covered here is
     /// redundant — the baseline would have filtered those findings anyway
@@ -74,6 +78,8 @@ pub struct PhaseTimings {
     pub flow_ms: u64,
     /// Interprocedural unit inference.
     pub units_ms: u64,
+    /// Interprocedural effect analysis.
+    pub effects_ms: u64,
     /// Per-file rules, whole-program rules, and suppression routing.
     pub rules_ms: u64,
     /// End-to-end lint time.
@@ -163,7 +169,10 @@ pub fn lint_paths(root: &Path, files: &[PathBuf], cfg: &Config) -> Report {
     // with it every node id, scope, and finding downstream — is identical
     // to what a sequential scan would produce, whatever the interleaving.
     type ScanSlot = Option<Result<FileUnit, (String, String)>>;
-    let workers = std::thread::available_parallelism().map_or(1, |n| n.get()).min(8);
+    let workers = match cfg.jobs {
+        Some(n) => n.max(1),
+        None => std::thread::available_parallelism().map_or(1, |n| n.get()).min(8),
+    };
     let cursor = AtomicUsize::new(0);
     let slots: Mutex<Vec<ScanSlot>> = Mutex::new(files.iter().map(|_| None).collect());
     std::thread::scope(|scope| {
@@ -218,11 +227,16 @@ pub fn lint_paths(root: &Path, files: &[PathBuf], cfg: &Config) -> Report {
     // Same for the unit inference: summaries propagate over edges alone.
     let (unit_findings, usum) = crate::units::analyze(&units, &graph);
     phases.units_ms = timer.lap();
-    let graph_json = cfg.graph_json.then(|| graph.render_json(&units, &taint, &usum));
+    // And the effect pass: write/interior/static/RNG/sched summaries to a
+    // fixpoint, then the purity and commutativity rules over them.
+    let (effect_findings, esum) = crate::effects::analyze(&units, &graph);
+    phases.effects_ms = timer.lap();
+    let graph_json = cfg.graph_json.then(|| graph.render_json(&units, &taint, &usum, &esum));
     let mut program_findings =
         if graph_mode { graph.whole_program_findings(&units) } else { Vec::new() };
     program_findings.extend(flow_findings);
     program_findings.extend(unit_findings);
+    program_findings.extend(effect_findings);
 
     let mut sites: Vec<LabelSite> = Vec::new();
     let mut per_file: Vec<(usize, suppress::Scan, Vec<Finding>)> = Vec::new();
@@ -309,8 +323,8 @@ pub fn render_json(report: &Report) -> String {
     if let Some(t) = &report.timings {
         out.push_str(&format!(
             "  \"timings_ms\": {{\"lex_parse\": {}, \"graph\": {}, \"flow\": {}, \
-             \"units\": {}, \"rules\": {}, \"total\": {}}},\n",
-            t.lex_parse_ms, t.graph_ms, t.flow_ms, t.units_ms, t.rules_ms, t.total_ms
+             \"units\": {}, \"effects\": {}, \"rules\": {}, \"total\": {}}},\n",
+            t.lex_parse_ms, t.graph_ms, t.flow_ms, t.units_ms, t.effects_ms, t.rules_ms, t.total_ms
         ));
     }
     out.push_str("  \"findings\": [");

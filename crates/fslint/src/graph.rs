@@ -547,14 +547,16 @@ impl Graph {
     }
 
     /// Renders the graph as a JSON document for `--graph-out`. `taint`
-    /// holds the per-node summaries from [`crate::flow::analyze`] and
-    /// `usum` the return-unit summaries from [`crate::units::analyze`],
-    /// each aligned with `nodes` (pass `&[]` to omit them all).
+    /// holds the per-node summaries from [`crate::flow::analyze`], `usum`
+    /// the return-unit summaries from [`crate::units::analyze`], and
+    /// `esum` the effect summaries from [`crate::effects::analyze`], each
+    /// aligned with `nodes` (pass `&[]` to omit them all).
     pub fn render_json(
         &self,
         units: &[FileUnit],
         taint: &[Option<crate::flow::TaintSummary>],
         usum: &[Option<crate::units::UnitSummary>],
+        esum: &[Option<crate::effects::EffectSummary>],
     ) -> String {
         use crate::engine::json_str;
         let mut out = String::from("{\n  \"nodes\": [");
@@ -583,10 +585,33 @@ impl Graph {
                 ),
                 _ => "null".to_string(),
             };
+            let effects_json = match esum.get(i) {
+                Some(Some(s)) => {
+                    let rows: Vec<String> = s
+                        .effects
+                        .iter()
+                        .map(|e| {
+                            format!(
+                                "{{\"kind\": {}, \"owner\": {}, \"field\": {}, \"line\": {}, \
+                                 \"via\": {}, \"what\": {}}}",
+                                json_str(e.kind),
+                                json_str(&e.owner),
+                                json_str(&e.field),
+                                e.line,
+                                e.via.map_or("null".to_string(), |v| v.to_string()),
+                                json_str(&e.what),
+                            )
+                        })
+                        .collect();
+                    format!("[{}]", rows.join(", "))
+                }
+                _ => "null".to_string(),
+            };
             out.push_str(&format!(
                 "\n    {{\"id\": {i}, \"crate\": {}, \"module\": {}, \"name\": {}, \
                  \"owner\": {}, \"path\": {}, \"line\": {}, \"test\": {}, \"entry\": {}, \
-                 \"reachable\": {}, \"sched\": {}, \"taint\": {}, \"unit\": {}}}",
+                 \"reachable\": {}, \"sched\": {}, \"taint\": {}, \"unit\": {}, \
+                 \"effects\": {}}}",
                 json_str(&n.abs_module[0]),
                 json_str(&module),
                 json_str(&n.name),
@@ -599,6 +624,7 @@ impl Graph {
                 self.sched[i],
                 taint_json,
                 unit_json,
+                effects_json,
             ));
         }
         if !self.nodes.is_empty() {
@@ -634,7 +660,7 @@ fn is_entry(n: &FnNode) -> bool {
 }
 
 /// Breadth-first reachability over the adjacency sets.
-fn bfs(edges: &[BTreeSet<usize>], roots: impl Iterator<Item = usize>) -> Vec<bool> {
+pub(crate) fn bfs(edges: &[BTreeSet<usize>], roots: impl Iterator<Item = usize>) -> Vec<bool> {
     let mut seen = vec![false; edges.len()];
     let mut queue: VecDeque<usize> = VecDeque::new();
     for r in roots {

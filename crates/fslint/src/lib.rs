@@ -37,6 +37,10 @@
 //! | `raw-unit-conversion` | no magic `* 1_000`/`* 1_000_000_000` literals outside `simcore::time` |
 //! | `rate-confusion` | a per-X rate only combines with a different shape through a `dt` factor |
 //! | `threshold-unit` | detector thresholds are configured in the unit they are compared against |
+//! | `oracle-pure` | campaign-reachable oracle/detector verdict paths are write-free on sim state |
+//! | `batch-commute` | same-timestamp batch handlers with overlapping writes carry a `seq` tiebreak |
+//! | `injection-scoped` | injectors write only their declared injection surface |
+//! | `mitigation-effect` | metastable policy hooks write policy-owned state only |
 //! | `suppression-stale` | no `fslint: allow(...)` comment that silences nothing |
 //!
 //! `stable-tiebreak` and `panic-path` run on a lightweight semantic model
@@ -69,6 +73,17 @@
 //! is a dimensionless ratio). Mismatch messages print both inference
 //! chains hop by hop; return-unit summaries ride along in the
 //! `--graph-out` export under `"unit"`.
+//!
+//! The effect rules (`oracle-pure`, `batch-commute`, `injection-scoped`,
+//! `mitigation-effect`) run a third summary pass over the same graph
+//! ([`effects`]): per-function write/interior-mutability/static-write/
+//! RNG-draw/scheduler effect sets are extracted from `self.field = …`
+//! assignments, `&mut` parameter writes, mutating method calls, and
+//! `schedule_*`/`cancel` dispatch, then propagated caller-ward to a
+//! fixpoint with the same via-link hop reporting taint and units use —
+//! so "the detector's verdict path mutates the scheduler three calls
+//! down" renders as a full call chain. Effect summaries ride along in
+//! the `--graph-out` export under `"effects"`.
 //!
 //! ## Suppressions
 //!
@@ -109,6 +124,7 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod effects;
 pub mod engine;
 pub mod flow;
 pub mod graph;

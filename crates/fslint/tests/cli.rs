@@ -26,6 +26,19 @@ fn every_positive_fixture_exits_nonzero() {
         &["sem/crates/simcore/src/tiebreak_pos.rs"],
         &["sem/float_order_pos.rs"],
         &["sem/crates/stutter/src/panic_pos.rs"],
+        &[
+            "effects/oracle_pure_pos/crates/camp/src/oracle.rs",
+            "effects/oracle_pure_pos/crates/simcore/src/lib.rs",
+        ],
+        &["effects/batch_commute_pos/crates/sim/src/lib.rs"],
+        &[
+            "effects/injection_scoped_pos/crates/stutter/src/lib.rs",
+            "effects/injection_scoped_pos/crates/sim/src/lib.rs",
+        ],
+        &[
+            "effects/mitigation_effect_pos/crates/meta/src/policy.rs",
+            "effects/mitigation_effect_pos/crates/meta/src/lib.rs",
+        ],
     ];
     for set in positives {
         let files: Vec<String> =
@@ -256,6 +269,13 @@ fn format_sarif_emits_a_sarif_document() {
     assert!(text.contains("\"version\": \"2.1.0\""), "{text}");
     assert!(text.contains("\"ruleId\": \"no-unordered-collections\""), "{text}");
     assert!(text.contains("\"physicalLocation\""), "{text}");
+    // Every driver rule links to its TESTING.md table section and declares
+    // its default level, so GitHub annotations carry doc links.
+    assert!(text.contains("\"helpUri\": \"https://github.com/"), "{text}");
+    assert!(text.contains("docs/TESTING.md#"), "{text}");
+    assert!(text.contains("\"defaultConfiguration\": {\"level\": \"error\"}"), "{text}");
+    assert!(text.contains("\"defaultConfiguration\": {\"level\": \"warning\"}"), "{text}");
+    assert!(text.contains("#effect-scoping"), "v6 rules link their section: {text}");
 
     // A clean run emits an empty results array and exits 0.
     let out = run(&["--format", "sarif", fixture("wall_clock_neg.rs").to_str().unwrap()]);
@@ -339,9 +359,18 @@ fn list_rules_names_all_rules() {
     for rule in fslint::RULES {
         assert!(text.contains(rule.id), "missing {} in:\n{text}", rule.id);
     }
-    // The v5 dimensional rules, by name — registry-driven iteration above
-    // cannot catch a rule that was dropped from the registry itself.
-    for rule in ["unit-mismatch", "raw-unit-conversion", "rate-confusion", "threshold-unit"] {
+    // The v5 dimensional and v6 effect rules, by name — registry-driven
+    // iteration above cannot catch a rule dropped from the registry itself.
+    for rule in [
+        "unit-mismatch",
+        "raw-unit-conversion",
+        "rate-confusion",
+        "threshold-unit",
+        "oracle-pure",
+        "batch-commute",
+        "injection-scoped",
+        "mitigation-effect",
+    ] {
         assert!(text.contains(rule), "missing {rule} in:\n{text}");
     }
 }
@@ -351,13 +380,13 @@ fn timings_flag_reports_every_phase() {
     let out = run(&["--timings", "--json", fixture("wall_clock_neg.rs").to_str().unwrap()]);
     assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stdout));
     let err = String::from_utf8_lossy(&out.stderr);
-    for phase in ["lex+parse", "graph", "flow", "units", "rules", "total"] {
+    for phase in ["lex+parse", "graph", "flow", "units", "effects", "rules", "total"] {
         assert!(err.contains(phase), "missing {phase} in stderr:\n{err}");
     }
     // The JSON report carries the same breakdown for CI artifacts.
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("\"timings_ms\""), "{text}");
-    for key in ["\"lex_parse\"", "\"units\"", "\"total\""] {
+    for key in ["\"lex_parse\"", "\"units\"", "\"effects\"", "\"total\""] {
         assert!(text.contains(key), "missing {key} in:\n{text}");
     }
 
@@ -365,4 +394,37 @@ fn timings_flag_reports_every_phase() {
     // output byte-identical.
     let out = run(&["--json", fixture("wall_clock_neg.rs").to_str().unwrap()]);
     assert!(!String::from_utf8_lossy(&out.stdout).contains("timings_ms"));
+}
+
+#[test]
+fn jobs_flag_caps_threads_without_changing_output() {
+    // A multi-file set exercises the sharded scan; sharding must only
+    // decide which thread lexes which file, never the output.
+    let tree = fixture("effects/oracle_pure_pos");
+    let files: Vec<String> =
+        ["crates/camp/src/oracle.rs", "crates/simcore/src/lib.rs", "crates/camp/src/extra.rs"]
+            .iter()
+            .filter(|f| tree.join(f).exists())
+            .map(|f| tree.join(f).to_string_lossy().into_owned())
+            .collect();
+    let mut serial = vec!["--json", "--jobs", "1"];
+    serial.extend(files.iter().map(String::as_str));
+    let mut parallel = vec!["--json"];
+    parallel.extend(files.iter().map(String::as_str));
+    let a = run(&serial);
+    let b = run(&parallel);
+    assert_eq!(a.status.code(), b.status.code());
+    assert_eq!(
+        String::from_utf8_lossy(&a.stdout),
+        String::from_utf8_lossy(&b.stdout),
+        "--jobs 1 and default parallelism must be byte-identical"
+    );
+
+    // A non-numeric or zero thread count is a usage error.
+    let out = run(&["--jobs", "zero"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = run(&["--jobs", "0"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = run(&["--jobs"]);
+    assert_eq!(out.status.code(), Some(2));
 }

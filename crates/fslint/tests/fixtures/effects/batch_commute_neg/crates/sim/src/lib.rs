@@ -1,0 +1,55 @@
+//! Effect fixture (clean case): the same racing handlers, but the
+//! queue key is an `EventKey` carrying an explicit `seq` — equal
+//! timestamps are totally ordered, so batch dispatch order is pinned
+//! and overlapping write sets are fine.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+/// The shared state both handlers write.
+pub struct Server {
+    /// Requests currently admitted.
+    pub inflight: u64,
+}
+
+/// The queue ordering key: time first, then an insertion sequence —
+/// the explicit tiebreak that makes same-timestamp batches commute.
+pub struct EventKey {
+    /// Due time.
+    pub at: u64,
+    /// Insertion sequence; orders events within one timestamp.
+    pub seq: u64,
+}
+
+/// A same-timestamp batch queue ordered by [`EventKey`].
+pub struct Batch {
+    /// Events due now, already in `(at, seq)` order.
+    pub due: Vec<(EventKey, u64)>,
+}
+
+impl Batch {
+    /// Drains every event due at the current timestamp, in `seq` order.
+    pub fn pop_batch(&mut self) -> Vec<(EventKey, u64)> {
+        std::mem::take(&mut self.due)
+    }
+}
+
+/// Handler one: admits a request.
+pub fn handle_admit(srv: &mut Server) {
+    srv.inflight += 1;
+}
+
+/// Handler two: sheds the backlog.
+pub fn handle_shed(srv: &mut Server) {
+    srv.inflight = 0;
+}
+
+/// Drains one batch and dispatches each event to its handler.
+pub fn drain(q: &mut Batch, srv: &mut Server) {
+    for (_key, ev) in q.pop_batch() {
+        if ev % 2 == 0 {
+            handle_admit(srv);
+        } else {
+            handle_shed(srv);
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Effect fixture: two same-batch handlers race on the same field with
+//! nothing ordering equal timestamps — the dispatcher drains
+//! `pop_batch` and fires both, so the final value of `Server.inflight`
+//! depends on an unspecified dispatch order.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+/// The shared state both handlers write.
+pub struct Server {
+    /// Requests currently admitted.
+    pub inflight: u64,
+}
+
+/// A minimal same-timestamp batch queue (no tiebreak on its key).
+pub struct Batch {
+    /// Event ids due now.
+    pub due: Vec<u64>,
+}
+
+impl Batch {
+    /// Drains every event due at the current timestamp.
+    pub fn pop_batch(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.due)
+    }
+}
+
+/// Handler one: admits a request.
+pub fn handle_admit(srv: &mut Server) {
+    srv.inflight += 1;
+}
+
+/// Handler two: sheds the backlog.
+pub fn handle_shed(srv: &mut Server) {
+    srv.inflight = 0;
+}
+
+/// Drains one batch and dispatches each event to its handler.
+pub fn drain(q: &mut Batch, srv: &mut Server) {
+    for ev in q.pop_batch() {
+        if ev % 2 == 0 {
+            handle_admit(srv);
+        } else {
+            handle_shed(srv);
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Effect fixture, injector half (clean case): the injector's struct
+//! names the `Profile` it owns, so writing through a `&mut Profile` is
+//! inside its declared surface; everything else it touches is its own
+//! fields and the RNG stream.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+/// The slowdown profile an injector shapes — part of its declared
+/// surface because the injector's struct names it.
+pub struct Profile {
+    /// Multiplier applied while the fault is engaged.
+    pub scale: u64,
+}
+
+/// A deterministic random stream.
+pub struct Stream {
+    /// Generator state.
+    pub state: u64,
+}
+
+impl Stream {
+    /// Returns the next raw output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(1);
+        self.state
+    }
+}
+
+/// Injects performance faults through its declared [`Profile`] surface.
+pub struct LatencyInjector {
+    /// Tick at which the fault engages.
+    pub slow_at: u64,
+    /// The profile this injector owns and shapes.
+    pub profile: Profile,
+}
+
+impl LatencyInjector {
+    /// Applies the fault to a profile — its declared surface — with a
+    /// jittered factor drawn from its stream.
+    pub fn engage(&mut self, out: &mut Profile, rng: &mut Stream) {
+        self.slow_at = self.slow_at.wrapping_add(1);
+        out.scale = 2 + rng.next_u64() % 3;
+    }
+}

@@ -1,0 +1,10 @@
+//! Effect fixture, sim half: server state that is not part of any
+//! injector's declared surface.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+/// The simulated server an injector has no business writing.
+pub struct Server {
+    /// Outstanding requests.
+    pub queue_depth: u64,
+}

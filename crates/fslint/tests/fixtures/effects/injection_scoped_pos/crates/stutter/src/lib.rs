@@ -1,0 +1,22 @@
+//! Effect fixture, injector half: a fault injector that reaches past
+//! its declared surface and rewrites server state directly instead of
+//! routing the fault through the simulation's handlers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+/// Injects performance faults; its struct declares no server surface.
+pub struct FaultInjector {
+    /// Tick at which the fault engages.
+    pub slow_at: u64,
+    /// Slowdown factor applied.
+    pub factor: u64,
+}
+
+impl FaultInjector {
+    /// Applies the fault — by clobbering the server, which is outside
+    /// the injector's declared surface.
+    pub fn engage(&mut self, srv: &mut sim::Server) {
+        self.factor = 2;
+        srv.queue_depth = 0;
+    }
+}

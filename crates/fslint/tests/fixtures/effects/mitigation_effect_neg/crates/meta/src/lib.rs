@@ -1,0 +1,24 @@
+//! Effect fixture, server half (clean case): server state the policy
+//! only ever reads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+/// The simulated server a policy advises.
+pub struct Server {
+    /// Requests currently admitted.
+    pub inflight: u64,
+}
+
+/// A deterministic random stream policies may draw jitter from.
+pub struct Stream {
+    /// Generator state.
+    pub state: u64,
+}
+
+impl Stream {
+    /// Returns the next raw output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(1);
+        self.state
+    }
+}

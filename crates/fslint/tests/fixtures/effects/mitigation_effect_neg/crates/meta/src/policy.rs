@@ -1,0 +1,26 @@
+//! Effect fixture, policy half (clean case): the shedder reads server
+//! state, updates only its own counters, and acts through a returned
+//! decision — the caller applies it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+/// A load shedder that keeps its own drop counter.
+pub struct Shed {
+    /// Requests dropped so far.
+    pub dropped: u64,
+    /// Admission cap while shedding.
+    pub cap: u64,
+}
+
+impl Shed {
+    /// Decides how many requests to admit this tick; the engine applies
+    /// the decision. Jitter comes from the policy's own stream draw.
+    pub fn decide(&mut self, srv: &crate::Server, rng: &mut crate::Stream) -> u64 {
+        if srv.inflight > self.cap {
+            self.dropped += srv.inflight - self.cap;
+            self.cap + rng.next_u64() % 2
+        } else {
+            srv.inflight
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! Effect fixture, server half: the state a mitigation policy must act
+//! on through returned decisions, never by direct mutation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+/// The simulated server a policy advises.
+pub struct Server {
+    /// Requests currently admitted.
+    pub inflight: u64,
+}

@@ -1,0 +1,20 @@
+//! Effect fixture, policy half: a load-shedding hook that reaches into
+//! the server and drops its queue directly — the mitigation becomes the
+//! sustaining effect instead of a returned decision.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+/// A load shedder that keeps its own drop counter.
+pub struct Shed {
+    /// Requests dropped so far.
+    pub dropped: u64,
+}
+
+impl Shed {
+    /// Applies the shed — by zeroing the server's admission count,
+    /// which is not policy-owned state.
+    pub fn apply(&mut self, srv: &mut crate::Server) {
+        self.dropped += 1;
+        srv.inflight = 0;
+    }
+}

@@ -1,0 +1,11 @@
+//! Effect fixture, oracle half (clean case): the verdict path reads
+//! server state and draws from its own RNG stream, but writes nothing —
+//! a pure probe.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+/// Judges the run from a read-only view plus a sampled tolerance.
+pub fn check(sim: &simcore::Server, rng: &mut simcore::Stream) -> bool {
+    let slack = rng.next_u64() % 4;
+    sim.depth <= slack
+}

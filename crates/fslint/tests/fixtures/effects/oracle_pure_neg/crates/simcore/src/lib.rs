@@ -1,0 +1,25 @@
+//! Effect fixture, sim half (clean case): server state plus the RNG
+//! stream oracles may legitimately draw from.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+/// The simulated server whose state oracles read.
+pub struct Server {
+    /// Outstanding requests.
+    pub depth: u64,
+}
+
+/// A deterministic random stream (drawing advances it, which is the one
+/// self-mutation a verdict path is allowed).
+pub struct Stream {
+    /// Generator state.
+    pub state: u64,
+}
+
+impl Stream {
+    /// Returns the next raw output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+        self.state
+    }
+}

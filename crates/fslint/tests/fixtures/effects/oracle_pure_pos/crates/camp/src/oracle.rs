@@ -1,0 +1,12 @@
+//! Effect fixture, oracle half: a verdict path that "fixes up" the
+//! server before judging it — the probe effect, two crates away from
+//! the write it performs (`check` → `simcore::poke` → `simcore::raw_set`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+/// Judges the run, but resets the server first. Impure: the verdict
+/// perturbs the state it claims to observe.
+pub fn check(sim: &mut simcore::Server) -> bool {
+    simcore::poke(sim);
+    sim.depth == 0
+}

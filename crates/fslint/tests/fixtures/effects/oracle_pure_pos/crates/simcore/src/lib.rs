@@ -1,0 +1,20 @@
+//! Effect fixture, sim half: the server state an oracle must never
+//! write, plus the mutation helpers an overeager probe might reach.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+/// The simulated server whose state oracles read.
+pub struct Server {
+    /// Outstanding requests.
+    pub depth: u64,
+}
+
+/// Resets the server — the write the probe smuggles in, two hops down.
+pub fn raw_set(sim: &mut Server) {
+    sim.depth = 0;
+}
+
+/// A convenience wrapper the oracle crate calls.
+pub fn poke(sim: &mut Server) {
+    raw_set(sim);
+}

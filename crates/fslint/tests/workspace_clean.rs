@@ -33,6 +33,10 @@ fn semantic_rules_are_registered() {
         fslint::rules::id::RAW_UNIT_CONVERSION,
         fslint::rules::id::RATE_CONFUSION,
         fslint::rules::id::THRESHOLD_UNIT,
+        fslint::rules::id::ORACLE_PURE,
+        fslint::rules::id::BATCH_COMMUTE,
+        fslint::rules::id::INJECTION_SCOPED,
+        fslint::rules::id::MITIGATION_EFFECT,
     ] {
         assert!(
             fslint::RULES.iter().any(|r| r.id == id),
@@ -61,5 +65,16 @@ fn flow_rules_actually_ran_on_the_workspace() {
     assert!(
         graph.contains("\"unit\": {\"dim\": "),
         "no unit summaries in the workspace graph — did units::analyze run?"
+    );
+    // And for the effect pass: scheduler handlers and `&mut self` methods
+    // saturate the real tree with write effects, so summaries must be
+    // present (and with them the via links of propagated hops).
+    assert!(
+        graph.contains("\"effects\": [{\"kind\": "),
+        "no effect summaries in the workspace graph — did effects::analyze run?"
+    );
+    assert!(
+        graph.contains("\"kind\": \"rng-draw\""),
+        "no RNG-draw effects in the workspace graph — the Stream gate broke?"
     );
 }
